@@ -1,0 +1,204 @@
+package reopt_test
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md §3 for the index). Each iteration rebuilds
+// the experiment from scratch at a reduced scale and regenerates the
+// figure's series; run a single iteration with
+//
+//	go test -bench=Fig10 -benchtime=1x
+//
+// and the full sweep with `go test -bench=. -benchmem`. The experiment
+// binary (cmd/experiments) runs the same code at full scale.
+
+import (
+	"testing"
+
+	"reopt"
+	"reopt/internal/ballsim"
+	"reopt/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		TPCHCustomers:   300,
+		OTTRowsPerValue: 25,
+		DSStoreSales:    6000,
+		Instances:       1,
+		OTT4Count:       3,
+		OTT5Count:       3,
+		Seed:            42,
+	}
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchConfig())
+		tab, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 && id != "fig14" && id != "fig15" {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig3SN regenerates Figure 3 (S_N vs N).
+func BenchmarkFig3SN(b *testing.B) { benchFigure(b, "fig3") }
+
+// BenchmarkFig4TPCHUniform regenerates Figure 4 (TPC-H z=0 runtimes).
+func BenchmarkFig4TPCHUniform(b *testing.B) { benchFigure(b, "fig4") }
+
+// BenchmarkFig5PlanCounts regenerates Figure 5 (plan counts, z=0).
+func BenchmarkFig5PlanCounts(b *testing.B) { benchFigure(b, "fig5") }
+
+// BenchmarkFig6ReoptOverhead regenerates Figure 6 (overhead, z=0).
+func BenchmarkFig6ReoptOverhead(b *testing.B) { benchFigure(b, "fig6") }
+
+// BenchmarkFig7TPCHSkewed regenerates Figure 7 (TPC-H z=1 runtimes).
+func BenchmarkFig7TPCHSkewed(b *testing.B) { benchFigure(b, "fig7") }
+
+// BenchmarkFig8PlanCountsSkewed regenerates Figure 8 (plan counts, z=1).
+func BenchmarkFig8PlanCountsSkewed(b *testing.B) { benchFigure(b, "fig8") }
+
+// BenchmarkFig9ReoptOverheadSkewed regenerates Figure 9 (overhead, z=1).
+func BenchmarkFig9ReoptOverheadSkewed(b *testing.B) { benchFigure(b, "fig9") }
+
+// BenchmarkFig10OTT4Join regenerates Figure 10 (OTT 4-join runtimes).
+func BenchmarkFig10OTT4Join(b *testing.B) { benchFigure(b, "fig10") }
+
+// BenchmarkFig11OTT5Join regenerates Figure 11 (OTT 5-join runtimes).
+func BenchmarkFig11OTT5Join(b *testing.B) { benchFigure(b, "fig11") }
+
+// BenchmarkFig12SystemA regenerates Figure 12 (OTT on system A).
+func BenchmarkFig12SystemA(b *testing.B) { benchFigure(b, "fig12") }
+
+// BenchmarkFig13SystemB regenerates Figure 13 (OTT on system B).
+func BenchmarkFig13SystemB(b *testing.B) { benchFigure(b, "fig13") }
+
+// BenchmarkFig14PerRoundTPCH regenerates Figure 14 (per-round runtimes).
+func BenchmarkFig14PerRoundTPCH(b *testing.B) { benchFigure(b, "fig14") }
+
+// BenchmarkFig15PerRoundOTT regenerates Figure 15 (per-round runtimes).
+func BenchmarkFig15PerRoundOTT(b *testing.B) { benchFigure(b, "fig15") }
+
+// BenchmarkFig16OTTPlanCounts regenerates Figure 16 (OTT plan counts).
+func BenchmarkFig16OTTPlanCounts(b *testing.B) { benchFigure(b, "fig16") }
+
+// BenchmarkFig17OTT4Overhead regenerates Figure 17 (OTT 4-join overhead).
+func BenchmarkFig17OTT4Overhead(b *testing.B) { benchFigure(b, "fig17") }
+
+// BenchmarkFig18OTT5Overhead regenerates Figure 18 (OTT 5-join overhead).
+func BenchmarkFig18OTT5Overhead(b *testing.B) { benchFigure(b, "fig18") }
+
+// BenchmarkFig19TPCDS regenerates Figure 19 (TPC-DS runtimes).
+func BenchmarkFig19TPCDS(b *testing.B) { benchFigure(b, "fig19") }
+
+// BenchmarkFig20TPCDSPlanCounts regenerates Figure 20 (TPC-DS plans).
+func BenchmarkFig20TPCDSPlanCounts(b *testing.B) { benchFigure(b, "fig20") }
+
+// BenchmarkEx2MultidimHistogram regenerates the §5.3.1 analysis.
+func BenchmarkEx2MultidimHistogram(b *testing.B) { benchFigure(b, "ex2") }
+
+// BenchmarkAppBBounds regenerates the Appendix B bound table.
+func BenchmarkAppBBounds(b *testing.B) { benchFigure(b, "appB") }
+
+// BenchmarkMidQueryComparison regenerates the compile-time vs runtime
+// re-optimization extension table.
+func BenchmarkMidQueryComparison(b *testing.B) { benchFigure(b, "midquery") }
+
+// BenchmarkPlanDiagram regenerates the plan-diagram extension table.
+func BenchmarkPlanDiagram(b *testing.B) { benchFigure(b, "plandiag") }
+
+// BenchmarkEstimatorComparison regenerates the histogram vs sampling vs
+// sketch comparison table.
+func BenchmarkEstimatorComparison(b *testing.B) { benchFigure(b, "estimators") }
+
+// --- Micro-benchmarks of the core machinery ---
+
+// BenchmarkOptimizeOTT times one DP optimization of a 5-table OTT query.
+func BenchmarkOptimizeOTT(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimize(qs[0], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReoptimizeOTT times the full Algorithm 1 loop (optimization,
+// sampling validation, convergence) on a 5-table OTT query.
+func BenchmarkReoptimizeOTT(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
+	r := reopt.NewReoptimizer(opt, cat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Reoptimize(qs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSamplingValidation times one skeleton run over the samples.
+func BenchmarkSamplingValidation(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
+	p, err := opt.Optimize(qs[0], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reopt.EstimateBySampling(p, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSN1000 times the exact Equation (1) computation at N=1000.
+func BenchmarkSN1000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if ballsim.SN(1000) < 30 {
+			b.Fatal("SN(1000) implausible")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id fig10
+//	experiments -id all [-csv] [-customers 1500] [-instances 5] [-seed 42]
+//
+// Each experiment prints a table whose rows are the series the paper
+// plots; EXPERIMENTS.md records paper-reported vs measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"reopt/internal/experiments"
+)
+
+func main() {
+	var (
+		id         = flag.String("id", "all", "experiment id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		customers  = flag.Int("customers", 0, "TPC-H customer rows (default 1500)")
+		rowsPerVal = flag.Int("ott-m", 0, "OTT rows per distinct value (default 40)")
+		dsSales    = flag.Int("ds-sales", 0, "TPC-DS store_sales rows (default 30000)")
+		instances  = flag.Int("instances", 0, "instances per query template (default 5)")
+		seed       = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		TPCHCustomers:   *customers,
+		OTTRowsPerValue: *rowsPerVal,
+		DSStoreSales:    *dsSales,
+		Instances:       *instances,
+		Seed:            *seed,
+	}
+	runner := experiments.NewRunner(cfg)
+
+	var selected []experiments.Experiment
+	if *id == "all" {
+		selected = experiments.All()
+	} else {
+		for _, one := range strings.Split(*id, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(one))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+		} else {
+			fmt.Println(tab.Render())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

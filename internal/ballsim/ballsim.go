@@ -1,0 +1,131 @@
+// Package ballsim implements the paper's probabilistic model of
+// re-optimization convergence (§3.3.1): Procedure 1's ball queue, the
+// exact expected step count S_N of Equation (1) / Lemma 1, the O(√N)
+// bound of Theorem 3 (Figure 3), and the Appendix B special-case
+// analyses for overestimation-only and underestimation-only errors.
+package ballsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SN computes Equation (1) exactly:
+//
+//	S_N = Σ_{k=1..N} k · (1 − 1/N)···(1 − (k−1)/N) · k/N
+//
+// the expected number of steps Procedure 1 takes before termination.
+func SN(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	nf := float64(n)
+	sum := 0.0
+	prefix := 1.0 // Π_{j=1..k-1} (1 - j/N)
+	for k := 1; k <= n; k++ {
+		kf := float64(k)
+		sum += kf * prefix * (kf / nf)
+		prefix *= 1 - kf/nf
+		if prefix <= 0 {
+			break
+		}
+	}
+	return sum
+}
+
+// SNSeries computes S_N for every N in [1, maxN] — the data series of
+// Figure 3 — in one pass per point.
+func SNSeries(maxN int) []float64 {
+	out := make([]float64, maxN+1)
+	for n := 1; n <= maxN; n++ {
+		out[n] = SN(n)
+	}
+	return out
+}
+
+// Simulate runs Procedure 1 once over a queue of n balls and returns the
+// number of marking steps performed before a marked ball reaches the
+// head (the terminating pick itself is not counted, matching Lemma 1's
+// accounting: S_N sums over the number of markings).
+func Simulate(n int, rng *rand.Rand) int {
+	if n <= 0 {
+		return 0
+	}
+	// queue[i] is the ball at position i; marked tracks marking.
+	queue := make([]int, n)
+	for i := range queue {
+		queue[i] = i
+	}
+	marked := make([]bool, n)
+	steps := 0
+	for {
+		head := queue[0]
+		if marked[head] {
+			return steps
+		}
+		steps++
+		marked[head] = true
+		// Re-insert the head ball at a uniform position in [0, n).
+		pos := rng.Intn(n)
+		copy(queue, queue[1:])
+		// queue[:n-1] now holds the remainder; insert head at pos.
+		copy(queue[pos+1:], queue[pos:n-1])
+		queue[pos] = head
+	}
+}
+
+// SimulateMean estimates E[steps] over trials runs of Procedure 1.
+func SimulateMean(n, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for i := 0; i < trials; i++ {
+		total += Simulate(n, rng)
+	}
+	return float64(total) / float64(trials)
+}
+
+// SqrtBoundRatio returns S_N / √N, which Theorem 3 bounds by a constant
+// (empirically below 2 for all N, per Figure 3's g(N)=2√N envelope).
+func SqrtBoundRatio(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return SN(n) / math.Sqrt(float64(n))
+}
+
+// OverestimateBound returns the Appendix B worst-case round bound for
+// the overestimation-only case with m joins: m + 1 (Theorem 7).
+func OverestimateBound(m int) int { return m + 1 }
+
+// UnderestimateBound returns the Appendix B expected-step bound for the
+// underestimation-only case: S_{N/M}, where N is the search-space size
+// and M the number of join-graph edges.
+func UnderestimateBound(n, m int) float64 {
+	if m <= 0 {
+		return SN(n)
+	}
+	return SN(n / m)
+}
+
+// SimulateOverestimationOnly models the Appendix B overestimation-only
+// walk over left-deep trees with m joins: each step corrects the lowest
+// not-yet-validated overestimated join, so the validated prefix grows by
+// at least one level per step. It returns the number of steps taken,
+// which must be ≤ m+1.
+func SimulateOverestimationOnly(m int, rng *rand.Rand) int {
+	// With overestimates only, re-optimization can only move within the
+	// set of plans containing the validated subtree (Lemma 2); the
+	// validated prefix index I(O_i) strictly increases. The step count
+	// is the number of distinct prefix levels visited plus the final
+	// confirming step.
+	steps := 1
+	level := 0
+	for level < m {
+		// The next plan fixes at least one more level; with probability
+		// p it jumps several (error correction propagates upward).
+		jump := 1 + rng.Intn(2)
+		level += jump
+		steps++
+	}
+	return steps
+}

@@ -1,0 +1,140 @@
+package ballsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Small-N values of Equation (1) computed by hand:
+// N=1: k=1 term: 1·1·(1/1) = 1.
+// N=2: k=1: 1·(1/2)=0.5; k=2: 2·(1−1/2)·(2/2)=1 → 1.5.
+// N=3: k=1: 1/3; k=2: 2·(2/3)·(2/3)=8/9; k=3: 3·(2/3)(1/3)·1=2/3 → 17/9.
+func TestSNSmallValues(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 1},
+		{2, 1.5},
+		{3, 17.0 / 9.0},
+	}
+	for _, c := range cases {
+		if got := SN(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SN(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSNMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 1000; n++ {
+		s := SN(n)
+		if s < prev {
+			t.Fatalf("SN not monotone at N=%d: %v < %v", n, s, prev)
+		}
+		prev = s
+	}
+}
+
+// TestTheorem3SqrtBound reproduces Figure 3's envelope: √N ≤ S_N ≤ 2√N
+// for all N ≥ 2.
+func TestTheorem3SqrtBound(t *testing.T) {
+	for n := 2; n <= 2000; n++ {
+		r := SqrtBoundRatio(n)
+		if r < 1 || r > 2 {
+			t.Fatalf("S_N/√N = %v out of [1,2] at N=%d", r, n)
+		}
+	}
+}
+
+// TestSimulationMatchesFormula checks the Monte Carlo Procedure 1
+// against the closed form within sampling error.
+func TestSimulationMatchesFormula(t *testing.T) {
+	for _, n := range []int{5, 20, 100, 400} {
+		want := SN(n)
+		got := SimulateMean(n, 4000, int64(n))
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("N=%d: simulated %v vs formula %v", n, got, want)
+		}
+	}
+}
+
+func TestSimulateTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(50)
+		steps := Simulate(n, rng)
+		if steps < 1 || steps > n {
+			t.Fatalf("N=%d: %d steps out of [1, N]", n, steps)
+		}
+	}
+}
+
+// Property: Procedure 1 never performs more than N markings (after N
+// markings every ball is marked, so the next pick must terminate).
+func TestSimulateBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(n uint8) bool {
+		size := int(n%64) + 1
+		return Simulate(size, rng) <= size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverestimateBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for m := 1; m <= 12; m++ {
+		if got := OverestimateBound(m); got != m+1 {
+			t.Errorf("OverestimateBound(%d) = %d", m, got)
+		}
+		for trial := 0; trial < 100; trial++ {
+			if s := SimulateOverestimationOnly(m, rng); s > m+1 {
+				t.Errorf("m=%d: simulated %d steps > m+1", m, s)
+			}
+		}
+	}
+}
+
+// TestUnderestimateBound reproduces the paper's N=1000, M=10 example:
+// SN = 39-ish while S_{N/M} = 12-ish.
+func TestUnderestimateBound(t *testing.T) {
+	sn := SN(1000)
+	if sn < 38 || sn > 40 {
+		t.Errorf("SN(1000) = %v, paper reports ≈39", sn)
+	}
+	sub := UnderestimateBound(1000, 10)
+	if sub < 11 || sub > 13 {
+		t.Errorf("S_{N/M} = %v, paper reports ≈12", sub)
+	}
+	if sub >= sn {
+		t.Errorf("underestimation bound %v should beat general bound %v", sub, sn)
+	}
+}
+
+func TestSNSeries(t *testing.T) {
+	s := SNSeries(100)
+	if len(s) != 101 {
+		t.Fatalf("series length %d", len(s))
+	}
+	for n := 1; n <= 100; n++ {
+		if s[n] != SN(n) {
+			t.Fatalf("series mismatch at %d", n)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if SN(0) != 0 {
+		t.Error("SN(0) should be 0")
+	}
+	if Simulate(0, rand.New(rand.NewSource(1))) != 0 {
+		t.Error("Simulate(0) should be 0")
+	}
+	if UnderestimateBound(100, 0) != SN(100) {
+		t.Error("UnderestimateBound with M=0 should fall back to SN")
+	}
+}

@@ -1,0 +1,312 @@
+// Package calibrate implements offline cost-unit calibration following
+// the methodology of Wu et al. [40] that the paper applies in §5.1.2:
+// run a family of micro-benchmarks whose per-unit work (sequential pages,
+// random pages, tuples, index tuples, operator evaluations) is known from
+// executor instrumentation, measure wall-clock time, and least-squares
+// fit the five cost units so that estimated cost tracks actual time. The
+// fitted units replace the PostgreSQL defaults, which assume
+// spinning-disk I/O ratios that are wrong for an in-memory engine.
+package calibrate
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"reopt/internal/catalog"
+	"reopt/internal/cost"
+	"reopt/internal/executor"
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+	"reopt/internal/storage"
+)
+
+// Options tune calibration.
+type Options struct {
+	// Rows is the calibration table size; 0 means 40000.
+	Rows int
+	// Repeats is how many times each micro-benchmark runs (the minimum
+	// duration is used, suppressing scheduler noise); 0 means 3.
+	Repeats int
+	// Seed drives the synthetic data.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rows <= 0 {
+		o.Rows = 40000
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	return o
+}
+
+// Run builds a synthetic calibration database, executes the
+// micro-benchmark suite, and returns cost units in nanoseconds of
+// wall-clock time per unit of work. Unlike the PostgreSQL defaults
+// (normalized to seq_page_cost = 1), calibrated units carry an absolute
+// scale, so estimated plan cost approximates predicted runtime — the
+// property [40] calibrates for. Within one configuration only relative
+// costs matter to plan choice, so the scale change is harmless.
+func Run(opts Options) (cost.Units, error) {
+	opts = opts.withDefaults()
+	cat, err := buildDB(opts)
+	if err != nil {
+		return cost.Units{}, err
+	}
+	plans, err := workloads(cat)
+	if err != nil {
+		return cost.Units{}, err
+	}
+
+	// Observation matrix: one row per micro-benchmark, columns are the
+	// five counter totals; target is measured nanoseconds.
+	var xs [][5]float64
+	var ys []float64
+	for _, p := range plans {
+		var best time.Duration
+		var ctr executor.Counters
+		for rep := 0; rep < opts.Repeats; rep++ {
+			res, err := executor.Run(p, cat, executor.Options{CountOnly: true})
+			if err != nil {
+				return cost.Units{}, fmt.Errorf("calibrate: %w", err)
+			}
+			if rep == 0 || res.Duration < best {
+				best = res.Duration
+				ctr = res.Counters
+			}
+		}
+		xs = append(xs, [5]float64{
+			float64(ctr.SeqPages),
+			float64(ctr.RandPages),
+			float64(ctr.Tuples),
+			float64(ctr.IndexTuples),
+			float64(ctr.OperatorEvals),
+		})
+		ys = append(ys, float64(best.Nanoseconds()))
+	}
+
+	coef, err := leastSquares(xs, ys)
+	if err != nil {
+		return cost.Units{}, err
+	}
+	// Floor each unit at a small positive value: regression noise can
+	// drive a nearly-free unit slightly negative, which would corrupt
+	// cost comparisons. In-memory page "reads" are legitimately near
+	// zero; the floor just keeps them positive.
+	const floor = 1e-3 // nanoseconds per unit
+	for i := range coef {
+		if coef[i] < floor {
+			coef[i] = floor
+		}
+	}
+	return cost.Units{
+		SeqPage:       coef[0],
+		RandPage:      coef[1],
+		CPUTuple:      coef[2],
+		CPUIndexTuple: coef[3],
+		CPUOperator:   coef[4],
+	}, nil
+}
+
+// buildDB creates the calibration tables: a large indexed fact table and
+// a smaller join partner.
+func buildDB(opts Options) (*catalog.Catalog, error) {
+	cat := catalog.New()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	fact := storage.NewTable("cal_fact", rel.NewSchema(
+		rel.Column{Name: "k", Kind: rel.KindInt},
+		rel.Column{Name: "v", Kind: rel.KindInt},
+		rel.Column{Name: "w", Kind: rel.KindInt},
+	))
+	domain := opts.Rows / 20
+	if domain < 10 {
+		domain = 10
+	}
+	for i := 0; i < opts.Rows; i++ {
+		fact.MustAppend(rel.Row{
+			rel.Int(int64(i % domain)),
+			rel.Int(int64(rng.Intn(1000))),
+			rel.Int(int64(rng.Intn(1000))),
+		})
+	}
+	if _, err := fact.CreateIndex("k"); err != nil {
+		return nil, err
+	}
+	cat.MustAddTable(fact)
+
+	// A copy with a much smaller page fanout decorrelates page counts
+	// from tuple counts in the regression.
+	wide := storage.NewTable("cal_wide", rel.NewSchema(
+		rel.Column{Name: "k", Kind: rel.KindInt},
+		rel.Column{Name: "v", Kind: rel.KindInt},
+	))
+	wide.SetRowsPerPage(4)
+	for i := 0; i < opts.Rows/2; i++ {
+		wide.MustAppend(rel.Row{
+			rel.Int(int64(i % domain)),
+			rel.Int(int64(rng.Intn(1000))),
+		})
+	}
+	cat.MustAddTable(wide)
+
+	dim := storage.NewTable("cal_dim", rel.NewSchema(
+		rel.Column{Name: "k", Kind: rel.KindInt},
+		rel.Column{Name: "x", Kind: rel.KindInt},
+	))
+	for i := 0; i < domain; i++ {
+		dim.MustAppend(rel.Row{rel.Int(int64(i)), rel.Int(int64(rng.Intn(1000)))})
+	}
+	cat.MustAddTable(dim)
+	return cat, nil
+}
+
+// workloads builds the micro-benchmark plans by hand (no SQL needed):
+// each stresses a different mix of the five units.
+func workloads(cat *catalog.Catalog) ([]*plan.Plan, error) {
+	fact, err := cat.Table("cal_fact")
+	if err != nil {
+		return nil, err
+	}
+	dim, err := cat.Table("cal_dim")
+	if err != nil {
+		return nil, err
+	}
+	factSchema := fact.Schema()
+	dimSchema := dim.Schema()
+	q := &sql.Query{CountStar: true}
+
+	scan := func(filters ...sql.Selection) *plan.ScanNode {
+		return &plan.ScanNode{
+			Alias: "cal_fact", Table: "cal_fact",
+			Filters: filters, Access: plan.SeqScan,
+			OutSchema: factSchema,
+		}
+	}
+	col := func(name string) sql.ColRef { return sql.ColRef{Table: "cal_fact", Column: name} }
+
+	// 1. Pure sequential scan: SeqPages + Tuples.
+	w1 := scan()
+	// 2. Seq scan with three operator evaluations per tuple.
+	w2 := scan(
+		sql.Selection{Col: col("v"), Op: sql.OpGe, Value: rel.Int(0)},
+		sql.Selection{Col: col("w"), Op: sql.OpGe, Value: rel.Int(0)},
+		sql.Selection{Col: col("v"), Op: sql.OpLe, Value: rel.Int(2000)},
+	)
+	// 3. Index scan (point lookup on a ~20-row group): RandPages +
+	// IndexTuples dominant.
+	w3 := &plan.ScanNode{
+		Alias: "cal_fact", Table: "cal_fact",
+		Filters:     []sql.Selection{{Col: col("k"), Op: sql.OpEq, Value: rel.Int(7)}},
+		Access:      plan.IndexScan,
+		IndexColumn: "k",
+		OutSchema:   factSchema,
+	}
+	// 4. Index nested-loop join: many probes.
+	dimScan := &plan.ScanNode{
+		Alias: "cal_dim", Table: "cal_dim", Access: plan.SeqScan, OutSchema: dimSchema,
+	}
+	innerScan := &plan.ScanNode{
+		Alias: "cal_fact", Table: "cal_fact",
+		Access: plan.IndexScan, IndexColumn: "k", OutSchema: factSchema,
+	}
+	w4 := &plan.JoinNode{
+		Kind: plan.IndexNestedLoop, Left: dimScan, Right: innerScan,
+		Preds: []sql.JoinPred{{
+			Left:  sql.ColRef{Table: "cal_dim", Column: "k"},
+			Right: sql.ColRef{Table: "cal_fact", Column: "k"},
+		}},
+		OutSchema: dimSchema.Concat(factSchema),
+	}
+	// 5. Hash join: build + probe operator evaluations.
+	w5 := &plan.JoinNode{
+		Kind: plan.HashJoin, Left: scan(), Right: dimScan,
+		Preds: []sql.JoinPred{{
+			Left:  sql.ColRef{Table: "cal_fact", Column: "k"},
+			Right: sql.ColRef{Table: "cal_dim", Column: "k"},
+		}},
+		OutSchema: factSchema.Concat(dimSchema),
+	}
+	// 6. Merge join: sort-heavy operator evaluations.
+	w6 := &plan.JoinNode{
+		Kind: plan.MergeJoin, Left: scan(), Right: dimScan,
+		Preds: []sql.JoinPred{{
+			Left:  sql.ColRef{Table: "cal_fact", Column: "k"},
+			Right: sql.ColRef{Table: "cal_dim", Column: "k"},
+		}},
+		OutSchema: factSchema.Concat(dimSchema),
+	}
+	// 7. Single-filter scan, a second operator-cost observation.
+	w7 := scan(sql.Selection{Col: col("v"), Op: sql.OpLt, Value: rel.Int(500)})
+	// 8. Scan of the low-fanout table: many pages per tuple, pinning the
+	// page-cost coefficients.
+	wide, err := cat.Table("cal_wide")
+	if err != nil {
+		return nil, err
+	}
+	w8 := &plan.ScanNode{
+		Alias: "cal_wide", Table: "cal_wide",
+		Access: plan.SeqScan, OutSchema: wide.Schema(),
+	}
+
+	nodes := []plan.Node{w1, w2, w3, w4, w5, w6, w7, w8}
+	out := make([]*plan.Plan, len(nodes))
+	for i, n := range nodes {
+		out[i] = &plan.Plan{Root: n, Query: q}
+	}
+	return out, nil
+}
+
+// leastSquares solves min ||X·b − y||² for 5 coefficients via the normal
+// equations and Gaussian elimination with partial pivoting.
+func leastSquares(xs [][5]float64, ys []float64) ([5]float64, error) {
+	var a [5][6]float64 // augmented [XtX | Xty]
+	for r, x := range xs {
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				a[i][j] += x[i] * x[j]
+			}
+			a[i][5] += x[i] * ys[r]
+		}
+	}
+	// Ridge term keeps the system solvable when a unit never varies.
+	for i := 0; i < 5; i++ {
+		a[i][i] += 1e-3
+	}
+	for c := 0; c < 5; c++ {
+		p := c
+		for r := c + 1; r < 5; r++ {
+			if abs(a[r][c]) > abs(a[p][c]) {
+				p = r
+			}
+		}
+		if abs(a[p][c]) < 1e-30 {
+			return [5]float64{}, fmt.Errorf("calibrate: singular system")
+		}
+		a[c], a[p] = a[p], a[c]
+		for r := 0; r < 5; r++ {
+			if r == c {
+				continue
+			}
+			f := a[r][c] / a[c][c]
+			for k := c; k < 6; k++ {
+				a[r][k] -= f * a[c][k]
+			}
+		}
+	}
+	var b [5]float64
+	for i := 0; i < 5; i++ {
+		b[i] = a[i][5] / a[i][i]
+	}
+	return b, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

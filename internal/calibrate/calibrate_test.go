@@ -1,0 +1,78 @@
+package calibrate
+
+import (
+	"testing"
+)
+
+func TestRunProducesPositiveUnits(t *testing.T) {
+	u, err := Run(Options{Rows: 8000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"seq_page":        u.SeqPage,
+		"rand_page":       u.RandPage,
+		"cpu_tuple":       u.CPUTuple,
+		"cpu_index_tuple": u.CPUIndexTuple,
+		"cpu_operator":    u.CPUOperator,
+	} {
+		if v <= 0 {
+			t.Errorf("%s = %v, want positive", name, v)
+		}
+	}
+}
+
+// TestCalibrationReflectsInMemoryProfile checks the qualitative property
+// calibration exists for: on an in-memory engine, random and sequential
+// page accesses cost about the same (no seek penalty), unlike the 4x
+// default ratio. CPU work dominates.
+func TestCalibrationReflectsInMemoryProfile(t *testing.T) {
+	u, err := Run(Options{Rows: 30000, Seed: 2, Repeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.RandPage > 100*u.CPUTuple {
+		t.Errorf("random page (%v) should not dwarf tuple CPU (%v) in memory",
+			u.RandPage, u.CPUTuple)
+	}
+	if u.CPUTuple <= 0 {
+		t.Error("cpu_tuple must be positive")
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 2*seq + 3*rand + 5*tup + 7*idx + 11*op, six observations.
+	xs := [][5]float64{
+		{1, 0, 0, 0, 0},
+		{0, 1, 0, 0, 0},
+		{0, 0, 1, 0, 0},
+		{0, 0, 0, 1, 0},
+		{0, 0, 0, 0, 1},
+		{1, 1, 1, 1, 1},
+	}
+	want := [5]float64{2, 3, 5, 7, 11}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		for j := 0; j < 5; j++ {
+			ys[i] += want[j] * x[j]
+		}
+	}
+	got, err := leastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5; j++ {
+		if d := got[j] - want[j]; d > 0.01 || d < -0.01 {
+			t.Errorf("coef %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestLeastSquaresDegenerateIsStable(t *testing.T) {
+	// All observations identical: ridge keeps the system solvable.
+	xs := [][5]float64{{1, 1, 1, 1, 1}, {1, 1, 1, 1, 1}}
+	ys := []float64{10, 10}
+	if _, err := leastSquares(xs, ys); err != nil {
+		t.Fatalf("degenerate system should solve with ridge: %v", err)
+	}
+}

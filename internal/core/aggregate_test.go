@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"reopt/internal/executor"
+	"reopt/internal/optimizer"
+	"reopt/internal/sql"
+	"reopt/internal/workload/tpch"
+)
+
+// TestReoptimizeGroupByQuery runs Algorithm 1 on aggregate queries: the
+// sampling skeleton strips the aggregate, join validation proceeds as
+// usual, and results are unchanged.
+func TestReoptimizeGroupByQuery(t *testing.T) {
+	cat, err := tpch.Generate(tpch.Config{Customers: 300, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	r := New(opt, cat)
+	for _, text := range []string{
+		`SELECT COUNT(*) FROM customer, orders, nation
+		 WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey
+		 GROUP BY n_name`,
+		`SELECT COUNT(*) FROM lineitem, orders
+		 WHERE l_orderkey = o_orderkey AND o_orderstatus = 'F'
+		 GROUP BY o_orderpriority ORDER BY o_orderpriority LIMIT 3`,
+	} {
+		q, err := sql.Parse(text, cat)
+		if err != nil {
+			t.Fatalf("%v\n%s", err, text)
+		}
+		orig, err := opt.Optimize(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		origRun, err := executor.Run(orig, cat, executor.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("group-by query did not converge: %s", text)
+		}
+		reRun, err := executor.Run(res.Final, cat, executor.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if origRun.Count != reRun.Count {
+			t.Errorf("group counts differ: %d vs %d", origRun.Count, reRun.Count)
+		}
+		// Row-level equality after sorting is guaranteed for the ORDER
+		// BY variant.
+		if len(q.OrderBy) > 0 {
+			for i := range origRun.Rows {
+				for j := range origRun.Rows[i] {
+					if origRun.Rows[i][j].Compare(reRun.Rows[i][j]) != 0 {
+						t.Errorf("row %d differs: %v vs %v", i, origRun.Rows[i], reRun.Rows[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTimeoutCap(t *testing.T) {
+	r, qs := ottSetup(t)
+	r.Opts.Timeout = time.Nanosecond // trip immediately after round 1
+	res, err := r.Reoptimize(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Errorf("rounds with immediate timeout: %d", len(res.Rounds))
+	}
+	if res.Final == nil {
+		t.Error("timeout must still yield a plan")
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/sql"
+)
+
+// ReoptimizeMultiSeed implements the §7 future-work variant: "rather
+// than just returning one plan, the optimizer could return several
+// candidates and let the re-optimization procedure work on each of
+// them." It seeds the procedure with up to seeds distinct initial plans
+// — the DP optimum plus randomized left-deep plans from different random
+// seeds — runs Algorithm 1 from each, and returns the run whose final
+// plan has the lowest sampled cost under its own validated statistics.
+func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	initials, err := r.initialPlans(q, seeds)
+	if err != nil {
+		return nil, err
+	}
+	var best *Result
+	var bestCost float64
+	for _, p := range initials {
+		res, err := r.reoptimizeFrom(q, p)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := r.Opt.Recost(q, res.Final, res.Gamma)
+		if err != nil {
+			continue
+		}
+		if best == nil || rp.Cost() < bestCost {
+			best = res
+			bestCost = rp.Cost()
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: multi-seed re-optimization produced no result")
+	}
+	return best, nil
+}
+
+// initialPlans generates up to n distinct starting plans.
+func (r *Reoptimizer) initialPlans(q *sql.Query, n int) ([]*plan.Plan, error) {
+	var out []*plan.Plan
+	seen := map[string]bool{}
+	add := func(p *plan.Plan) {
+		fp := p.Fingerprint()
+		if !seen[fp] {
+			seen[fp] = true
+			out = append(out, p)
+		}
+	}
+	p, err := r.Opt.Optimize(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	add(p)
+	cfg := r.Opt.Config()
+	for s := int64(1); len(out) < n && s <= int64(4*n); s++ {
+		altCfg := cfg
+		altCfg.Seed = cfg.Seed + s
+		altCfg.DPThreshold = 1 // force the randomized search
+		alt := optimizer.New(r.Opt.Catalog(), altCfg)
+		ap, err := alt.Optimize(q, nil)
+		if err != nil {
+			continue
+		}
+		add(ap)
+	}
+	return out, nil
+}
+
+// reoptimizeFrom runs Algorithm 1 but uses the supplied plan as P_1
+// instead of the optimizer's first choice: P_1 is validated, its Δ is
+// merged into Γ, and the loop proceeds normally from round 2.
+func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan) (*Result, error) {
+	// Temporarily narrow the optimizer call for round 1 by validating
+	// the provided plan first; Reoptimize then starts from a Γ that
+	// encodes it. If the optimizer's round-1 plan under that Γ equals
+	// the initial plan, the behaviour matches plain Algorithm 1.
+	sub := &Reoptimizer{Opt: r.Opt, Cat: r.Cat, Opts: r.Opts}
+	res, err := sub.reoptimizeSeeded(q, initial)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// reoptimizeSeeded is Reoptimize with an externally supplied P_1.
+func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan) (*Result, error) {
+	if !r.Cat.HasSamples() {
+		return nil, fmt.Errorf("core: catalog has no samples; call BuildSamples before re-optimizing")
+	}
+	gamma := optimizer.NewGamma()
+	res := &Result{Gamma: gamma}
+
+	// Round 1: validate the seed plan.
+	if err := r.validateInto(q, p1, gamma, res, nil, nil); err != nil {
+		return nil, err
+	}
+	prev := p1
+	trees := []plan.JoinTree{plan.TreeOf(p1)}
+	seen := map[string]bool{p1.Fingerprint(): true}
+	res.NumPlans = 1
+
+	for i := 2; ; i++ {
+		p, err := r.Opt.Optimize(q, gamma)
+		if err != nil {
+			return nil, fmt.Errorf("core: seeded round %d: %w", i, err)
+		}
+		if p.Fingerprint() == prev.Fingerprint() {
+			res.Converged = true
+			break
+		}
+		if err := r.validateInto(q, p, gamma, res, prev, trees); err != nil {
+			return nil, err
+		}
+		if !seen[p.Fingerprint()] {
+			seen[p.Fingerprint()] = true
+			res.NumPlans++
+		}
+		trees = append(trees, plan.TreeOf(p))
+		prev = p
+		if r.Opts.MaxRounds > 0 && i >= r.Opts.MaxRounds {
+			break
+		}
+	}
+	res.Final = r.pickFinal(q, res, prev)
+	return res, nil
+}
+
+// validateInto validates p over samples, merges Δ into gamma, and
+// appends the round record.
+func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree) error {
+	round := Round{
+		Plan:              p,
+		Transform:         plan.Classify(prev, p),
+		CoveredByPrevious: plan.Covered(plan.TreeOf(p), trees),
+	}
+	est, err := estimatePlanFn(p, r.Cat)
+	if err != nil {
+		return err
+	}
+	round.SamplingTime = est.Duration
+	res.ReoptTime += est.Duration
+	delta := est.Delta
+	if r.Opts.Conservative {
+		delta = r.blend(q, est)
+	}
+	round.GammaAdded = gamma.Merge(delta)
+	if rp, err := r.Opt.Recost(q, p, gamma); err == nil {
+		round.SampledCost = rp.Cost()
+		round.Plan = rp
+	}
+	res.Rounds = append(res.Rounds, round)
+	return nil
+}

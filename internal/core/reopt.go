@@ -1,0 +1,254 @@
+// Package core implements the paper's contribution: the sampling-based
+// iterative query re-optimization procedure (Algorithm 1). Each round
+// asks the optimizer for a plan under the current validated statistics
+// Γ, stops if the plan repeats, and otherwise validates the new plan's
+// join skeleton over the samples, folding the refined cardinalities Δ
+// back into Γ.
+//
+// The package also records the full per-round trace — transformation
+// classification (local/global, Theorem 2), coverage (Theorem 1),
+// sampled costs (Theorems 5 and 6) — and implements the practical
+// variants discussed in §5.4 and §7: round and time caps with
+// best-so-far selection, conservative estimate blending, and multi-seed
+// re-optimization.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"reopt/internal/catalog"
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/sampling"
+	"reopt/internal/sql"
+)
+
+// Options tune the re-optimization procedure. The zero value runs plain
+// Algorithm 1 to convergence.
+type Options struct {
+	// MaxRounds caps optimizer invocations; 0 means run to convergence.
+	// When the cap triggers, the best plan generated so far under
+	// sampled costs is returned (§5.4 early-stop strategy).
+	MaxRounds int
+	// Timeout caps total re-optimization wall time; 0 means none. Like
+	// MaxRounds, hitting it returns the sampled-cost-best plan so far.
+	Timeout time.Duration
+	// Conservative blends each sampled estimate with the optimizer's
+	// statistics-based estimate, weighted by a sample-size confidence
+	// (§7 future-work variant). Off, sampled estimates are accepted
+	// unconditionally, as in the paper's experiments.
+	Conservative bool
+	// SkipBelowCost disables re-optimization entirely for queries whose
+	// initial plan cost is below the threshold (§5.4: "not doing
+	// re-optimization at all if the estimated query execution time is
+	// shorter than some threshold"). 0 means always re-optimize.
+	SkipBelowCost float64
+}
+
+// Round records one iteration of Algorithm 1.
+type Round struct {
+	// Plan is P_i, re-costed under the Γ that produced it.
+	Plan *plan.Plan
+	// Transform classifies P_i against P_{i-1} (Theorem 2 chain).
+	Transform plan.TransformKind
+	// CoveredByPrevious reports Definition 2 coverage of P_i by
+	// {P_1..P_{i-1}} — when true, Theorem 1 predicts termination next
+	// round.
+	CoveredByPrevious bool
+	// GammaAdded is how many new relation sets this round's validation
+	// added to Γ (0 for the terminal round, which skips validation).
+	GammaAdded int
+	// SampledCost is the plan's cost re-estimated under Γ *after* this
+	// round's validation merged (cost_s in the paper's notation).
+	SampledCost float64
+	// OptimizeTime and SamplingTime split the round's overhead.
+	OptimizeTime time.Duration
+	SamplingTime time.Duration
+}
+
+// Result is the outcome of re-optimizing one query.
+type Result struct {
+	// Final is the plan the procedure settled on (the fixed point when
+	// Converged, otherwise the sampled-cost-best plan generated).
+	Final *plan.Plan
+	// Rounds is the P_1..P_n trace. The terminal optimizer call that
+	// merely re-produces P_n is not appended as an extra round; it is
+	// reflected in Converged.
+	Rounds []Round
+	// NumPlans is the number of distinct plans generated — the series
+	// reported in the paper's Figures 5, 8, 16 and 20.
+	NumPlans int
+	// Converged reports whether the loop reached its fixed point (as
+	// opposed to a round/time cap).
+	Converged bool
+	// ReoptTime is the total overhead: all sampling runs plus all
+	// optimizer invocations after the first. The paper's "execution +
+	// re-optimization" series adds this to the final plan's run time.
+	ReoptTime time.Duration
+	// Gamma is the final validated-statistics store.
+	Gamma *optimizer.Gamma
+}
+
+// Reoptimizer runs Algorithm 1 against one optimizer and catalog.
+type Reoptimizer struct {
+	Opt  *optimizer.Optimizer
+	Cat  *catalog.Catalog
+	Opts Options
+}
+
+// New returns a Reoptimizer with default options.
+func New(opt *optimizer.Optimizer, cat *catalog.Catalog) *Reoptimizer {
+	return &Reoptimizer{Opt: opt, Cat: cat}
+}
+
+// Reoptimize runs Algorithm 1 on q and returns the full trace.
+func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
+	if !r.Cat.HasSamples() {
+		return nil, fmt.Errorf("core: catalog has no samples; call BuildSamples before re-optimizing")
+	}
+	start := time.Now()
+	gamma := optimizer.NewGamma()
+	res := &Result{Gamma: gamma}
+
+	var prev *plan.Plan
+	var trees []plan.JoinTree
+	seen := map[string]bool{}
+
+	for i := 1; ; i++ {
+		t0 := time.Now()
+		p, err := r.Opt.Optimize(q, gamma)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", i, err)
+		}
+		optTime := time.Since(t0)
+		if i > 1 {
+			res.ReoptTime += optTime
+		}
+
+		// Termination test of Algorithm 1 (lines 6-8).
+		if prev != nil && p.Fingerprint() == prev.Fingerprint() {
+			res.Converged = true
+			break
+		}
+
+		if r.Opts.SkipBelowCost > 0 && i == 1 && p.Cost() < r.Opts.SkipBelowCost {
+			res.Final = p
+			res.Rounds = append(res.Rounds, Round{
+				Plan:        p,
+				Transform:   plan.Global,
+				SampledCost: p.Cost(),
+			})
+			res.NumPlans = 1
+			res.Converged = true
+			res.ReoptTime = time.Since(start) - optTime
+			return res, nil
+		}
+
+		round := Round{
+			Plan:              p,
+			Transform:         plan.Classify(prev, p),
+			CoveredByPrevious: plan.Covered(plan.TreeOf(p), trees),
+			OptimizeTime:      optTime,
+		}
+
+		// Validation (lines 9-10): Δ ← sampling; Γ ← Γ ∪ Δ.
+		t1 := time.Now()
+		est, err := estimatePlanFn(p, r.Cat)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", i, err)
+		}
+		round.SamplingTime = time.Since(t1)
+		res.ReoptTime += round.SamplingTime
+
+		delta := est.Delta
+		if r.Opts.Conservative {
+			delta = r.blend(q, est)
+		}
+		round.GammaAdded = gamma.Merge(delta)
+
+		// Re-cost P_i under the merged Γ for the trace (cost_s).
+		if rp, err := r.Opt.Recost(q, p, gamma); err == nil {
+			round.SampledCost = rp.Cost()
+			round.Plan = rp
+		}
+
+		res.Rounds = append(res.Rounds, round)
+		if !seen[p.Fingerprint()] {
+			seen[p.Fingerprint()] = true
+			res.NumPlans++
+		}
+		trees = append(trees, plan.TreeOf(p))
+		prev = p
+
+		if r.Opts.MaxRounds > 0 && i >= r.Opts.MaxRounds {
+			break
+		}
+		if r.Opts.Timeout > 0 && time.Since(start) > r.Opts.Timeout {
+			break
+		}
+	}
+
+	res.Final = r.pickFinal(q, res, prev)
+	return res, nil
+}
+
+// pickFinal returns the converged fixed point, or — after an early stop —
+// the generated plan with the lowest sampled cost (§5.4: "return the
+// best plan among the plans generated so far, based on their cost
+// estimates using refined cardinality estimates from sampling").
+func (r *Reoptimizer) pickFinal(q *sql.Query, res *Result, last *plan.Plan) *plan.Plan {
+	if res.Converged || len(res.Rounds) == 0 {
+		return last
+	}
+	best := res.Rounds[0].Plan
+	bestCost := -1.0
+	for _, rd := range res.Rounds {
+		rp, err := r.Opt.Recost(q, rd.Plan, res.Gamma)
+		if err != nil {
+			continue
+		}
+		if bestCost < 0 || rp.Cost() < bestCost {
+			bestCost = rp.Cost()
+			best = rp
+		}
+	}
+	return best
+}
+
+// blend applies conservative acceptance: each sampled estimate is mixed
+// with the statistics-based estimate, weighted by how many sample rows
+// witnessed the set.
+func (r *Reoptimizer) blend(q *sql.Query, est *sampling.Estimate) map[string]float64 {
+	out := make(map[string]float64, len(est.Delta))
+	for key, sampled := range est.Delta {
+		aliases := splitKey(key)
+		histEst, err := r.Opt.EstimateCardinality(q, aliases)
+		if err != nil {
+			out[key] = sampled
+			continue
+		}
+		w := sampling.ConfidenceWeight(est.SampleRows[key])
+		out[key] = w*sampled + (1-w)*histEst
+	}
+	return out
+}
+
+func splitKey(key string) []string {
+	var out []string
+	cur := ""
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x1f' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(key[i])
+	}
+	out = append(out, cur)
+	return out
+}
+
+// estimatePlanFn indirects the sampling estimator for failure-injection
+// tests.
+var estimatePlanFn = sampling.EstimatePlan

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/workload/ott"
+	"reopt/internal/workload/tpch"
+)
+
+// TestCorollary1AlwaysTerminates stresses termination over many random
+// OTT queries: Algorithm 1 must converge for all of them (Corollary 1),
+// and well under the S_N bound in rounds.
+func TestCorollary1AlwaysTerminates(t *testing.T) {
+	cat, err := ott.Generate(ott.Config{Seed: 31, RowsPerValue: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	r := New(opt, cat)
+	for _, nTables := range []int{3, 4, 5, 6} {
+		qs, err := ott.Queries(cat, ott.QueryConfig{
+			NumTables: nTables, SameConstant: nTables - 1, Count: 8, Seed: int64(nTables),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			res, err := r.Reoptimize(q)
+			if err != nil {
+				t.Fatalf("n=%d query %d: %v", nTables, i, err)
+			}
+			if !res.Converged {
+				t.Errorf("n=%d query %d did not converge", nTables, i)
+			}
+			if len(res.Rounds) > 10 {
+				t.Errorf("n=%d query %d: %d rounds (paper: <10 for all tested queries)",
+					nTables, i, len(res.Rounds))
+			}
+		}
+	}
+}
+
+// TestTheorem1CoverageImpliesTermination: whenever a round's plan is
+// covered by the previous plans, the procedure must terminate within
+// one more round (Theorem 1)... given that Γ gains nothing new.
+func TestTheorem1CoverageImpliesTermination(t *testing.T) {
+	cat, err := ott.Generate(ott.Config{Seed: 32, RowsPerValue: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	r := New(opt, cat)
+	qs, err := ott.Queries(cat, ott.QueryConfig{NumTables: 5, SameConstant: 4, Count: 10, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		res, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, rd := range res.Rounds {
+			if rd.CoveredByPrevious && rd.GammaAdded == 0 && j != len(res.Rounds)-1 {
+				t.Errorf("query %d: round %d covered with no new Γ but procedure continued", i, j+1)
+			}
+		}
+	}
+}
+
+// TestFixedPointDeterminism: re-running the procedure on the same query
+// and catalog must reach the same fixed point (the fixed point is unique
+// for a given initial plan, §3.5).
+func TestFixedPointDeterminism(t *testing.T) {
+	cat, err := ott.Generate(ott.Config{Seed: 34, RowsPerValue: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	r := New(opt, cat)
+	qs, err := ott.Queries(cat, ott.QueryConfig{NumTables: 5, SameConstant: 4, Count: 3, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		a, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Final.Fingerprint() != b.Final.Fingerprint() {
+			t.Errorf("query %d: fixed point not deterministic", i)
+		}
+		if a.NumPlans != b.NumPlans {
+			t.Errorf("query %d: plan counts differ: %d vs %d", i, a.NumPlans, b.NumPlans)
+		}
+	}
+}
+
+// TestTheorem6LocalOptimality: the final plan must be at least as cheap
+// (under sampled costs) as its own local transformations that the DP
+// would consider — verified indirectly: re-optimizing FROM the final
+// state returns the same plan, so no local transformation undercuts it.
+func TestTheorem6LocalOptimality(t *testing.T) {
+	cat, err := ott.Generate(ott.Config{Seed: 36, RowsPerValue: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	r := New(opt, cat)
+	qs, err := ott.Queries(cat, ott.QueryConfig{NumTables: 4, SameConstant: 3, Count: 5, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		res, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			continue
+		}
+		// At the fixed point, the optimizer under the final Γ picks the
+		// final plan — which therefore beats every alternative in the
+		// search space under cost_s, local transformations included.
+		again, err := r.Opt.Optimize(q, res.Gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Fingerprint() != res.Final.Fingerprint() {
+			t.Errorf("query %d: fixed point not stable under final Γ", i)
+		}
+	}
+}
+
+// TestTPCHNoJoinQueriesSkipTransformations: queries with no join (Q1's
+// shape) or a single join (Q16/Q19's shape) can only undergo local
+// transformations, as §5.2.3 notes.
+func TestTPCHNoJoinQueriesSkipTransformations(t *testing.T) {
+	cat, err := tpch.Generate(tpch.Config{Customers: 200, Seed: 38})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	r := New(opt, cat)
+	for _, id := range []int{1, 16, 19} {
+		qs, err := tpch.Instances(cat, id, 2, 39)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			res, err := r.Reoptimize(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, rd := range res.Rounds {
+				if j == 0 {
+					continue
+				}
+				if rd.Transform == plan.Global && len(q.Joins) <= 1 {
+					t.Errorf("Q%d: global transformation on a <=1-join query", id)
+				}
+			}
+		}
+	}
+}

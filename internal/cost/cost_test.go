@@ -1,0 +1,103 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultUnitsMatchPostgres(t *testing.T) {
+	u := DefaultUnits
+	if u.SeqPage != 1.0 || u.RandPage != 4.0 || u.CPUTuple != 0.01 ||
+		u.CPUIndexTuple != 0.005 || u.CPUOperator != 0.0025 {
+		t.Errorf("defaults drifted: %s", u)
+	}
+}
+
+func TestSeqScanCost(t *testing.T) {
+	m := NewModel(DefaultUnits)
+	c := m.SeqScan(100, 6400, 0)
+	want := 100*1.0 + 6400*0.01
+	if c != want {
+		t.Errorf("seq scan: %v, want %v", c, want)
+	}
+	// Filters add operator costs.
+	if m.SeqScan(100, 6400, 2) <= c {
+		t.Error("filters should increase cost")
+	}
+}
+
+func TestIndexProbeCost(t *testing.T) {
+	m := NewModel(DefaultUnits)
+	c1 := m.IndexProbe(2, 10, 0)
+	c2 := m.IndexProbe(3, 10, 0)
+	if c2 <= c1 {
+		t.Error("taller index must cost more")
+	}
+	if m.IndexProbe(2, 100, 0) <= c1 {
+		t.Error("more matches must cost more")
+	}
+}
+
+func TestJoinCostOrdering(t *testing.T) {
+	m := NewModel(DefaultUnits)
+	// For large inputs, hash join should beat naive nested loop.
+	nl := m.NestLoop(100, 100, 10000, 10000, 1, 1000)
+	hj := m.HashJoin(100, 100, 10000, 10000, 1, 1000)
+	if hj >= nl {
+		t.Errorf("hash %v should beat nested loop %v on bulk joins", hj, nl)
+	}
+	// For one outer row with an index, INL should beat hash join.
+	inl := m.IndexNestLoop(1, 1, m.IndexProbe(2, 5, 0), 5)
+	hj2 := m.HashJoin(1, 100, 1, 10000, 1, 5)
+	if inl >= hj2 {
+		t.Errorf("index NL %v should beat hash %v for tiny outer", inl, hj2)
+	}
+}
+
+func TestSortCost(t *testing.T) {
+	m := NewModel(DefaultUnits)
+	if m.Sort(1) <= 0 {
+		t.Error("sort of 1 row should still cost something")
+	}
+	if m.Sort(10000) <= m.Sort(100) {
+		t.Error("sort cost must grow")
+	}
+}
+
+// Property: all cost formulas are non-negative and monotone in output
+// cardinality.
+func TestCostNonNegativeProperty(t *testing.T) {
+	m := NewModel(DefaultUnits)
+	f := func(rowsRaw uint16, outRaw uint16) bool {
+		rows := float64(rowsRaw)
+		out := float64(outRaw)
+		costs := []float64{
+			m.SeqScan(rows/64+1, rows, 1),
+			m.IndexProbe(2, rows, 1),
+			m.NestLoop(10, 10, rows, rows, 1, out),
+			m.HashJoin(10, 10, rows, rows, 1, out),
+			m.MergeJoin(10, 10, rows, rows, out),
+			m.IndexNestLoop(10, rows, 5, out),
+			m.Sort(rows),
+		}
+		for _, c := range costs {
+			if c < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitsString(t *testing.T) {
+	s := DefaultUnits.String()
+	for _, want := range []string{"seq_page=1", "rand_page=4", "cpu_tuple=0.01"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("units string missing %q: %s", want, s)
+		}
+	}
+}

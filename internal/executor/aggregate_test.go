@@ -1,0 +1,190 @@
+package executor
+
+import (
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+	"reopt/internal/stats"
+	"reopt/internal/storage"
+)
+
+func aggCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	tab := storage.NewTable("s", rel.NewSchema(
+		rel.Column{Name: "g", Kind: rel.KindInt},
+		rel.Column{Name: "h", Kind: rel.KindInt},
+		rel.Column{Name: "k", Kind: rel.KindInt},
+	))
+	for i := 0; i < 1000; i++ {
+		tab.MustAppend(rel.Row{
+			rel.Int(int64(i % 4)),
+			rel.Int(int64(i % 3)),
+			rel.Int(int64(i % 10)),
+		})
+	}
+	dim := storage.NewTable("d", rel.NewSchema(
+		rel.Column{Name: "k", Kind: rel.KindInt},
+		rel.Column{Name: "label", Kind: rel.KindInt},
+	))
+	for i := 0; i < 10; i++ {
+		dim.MustAppend(rel.Row{rel.Int(int64(i)), rel.Int(int64(i * 100))})
+	}
+	cat.MustAddTable(tab)
+	cat.MustAddTable(dim)
+	if err := cat.AnalyzeAll(stats.AnalyzeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cat.BuildSamples(3)
+	return cat
+}
+
+func runSQL(t *testing.T, cat *catalog.Catalog, text string) *Result {
+	t.Helper()
+	q, err := sql.Parse(text, cat)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	p, err := opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	res, err := Run(p, cat, Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestGroupByCounts(t *testing.T) {
+	cat := aggCatalog(t)
+	res := runSQL(t, cat, `SELECT COUNT(*) FROM s GROUP BY s.g`)
+	if res.Count != 4 {
+		t.Fatalf("groups: %d, want 4", res.Count)
+	}
+	total := int64(0)
+	for _, row := range res.Rows {
+		if len(row) != 2 {
+			t.Fatalf("group row shape: %v", row)
+		}
+		if row[1].AsInt() != 250 {
+			t.Errorf("group %v count %v, want 250", row[0], row[1])
+		}
+		total += row[1].AsInt()
+	}
+	if total != 1000 {
+		t.Errorf("counts sum to %d", total)
+	}
+}
+
+func TestGroupByMultipleColumns(t *testing.T) {
+	cat := aggCatalog(t)
+	res := runSQL(t, cat, `SELECT COUNT(*) FROM s GROUP BY s.g, s.h`)
+	if res.Count != 12 { // 4 x 3 combinations all occur
+		t.Fatalf("groups: %d, want 12", res.Count)
+	}
+}
+
+func TestGroupByWithFilterAndJoin(t *testing.T) {
+	cat := aggCatalog(t)
+	res := runSQL(t, cat, `SELECT COUNT(*) FROM s, d
+		WHERE s.k = d.k AND s.g = 1 GROUP BY d.label`)
+	// g=1 selects 250 rows spread over k in {1, 5, 9} → labels 100, 500, 900...
+	// k = i%10 where i%4==1: i in {1,5,9,13,...}: k values {1,3,5,7,9}.
+	if res.Count != 5 {
+		t.Fatalf("groups: %d, want 5", res.Count)
+	}
+	total := int64(0)
+	for _, row := range res.Rows {
+		total += row[1].AsInt()
+	}
+	if total != 250 {
+		t.Errorf("grouped counts sum to %d, want 250", total)
+	}
+}
+
+func TestOrderByAscDesc(t *testing.T) {
+	cat := aggCatalog(t)
+	res := runSQL(t, cat, `SELECT d.k, d.label FROM d ORDER BY d.label DESC`)
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].AsInt() > res.Rows[i-1][1].AsInt() {
+			t.Fatal("not descending")
+		}
+	}
+	asc := runSQL(t, cat, `SELECT d.k FROM d ORDER BY d.k`)
+	for i := 1; i < len(asc.Rows); i++ {
+		if asc.Rows[i][0].AsInt() < asc.Rows[i-1][0].AsInt() {
+			t.Fatal("not ascending")
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	cat := aggCatalog(t)
+	res := runSQL(t, cat, `SELECT d.k FROM d ORDER BY d.k LIMIT 3`)
+	if res.Count != 3 || len(res.Rows) != 3 {
+		t.Fatalf("limit: count=%d rows=%d", res.Count, len(res.Rows))
+	}
+	if res.Rows[2][0].AsInt() != 2 {
+		t.Errorf("limit+order wrong: %v", res.Rows)
+	}
+}
+
+func TestGroupByOrderByGroupKey(t *testing.T) {
+	cat := aggCatalog(t)
+	res := runSQL(t, cat, `SELECT COUNT(*) FROM s GROUP BY s.g ORDER BY s.g DESC LIMIT 2`)
+	if res.Count != 2 {
+		t.Fatalf("count: %d", res.Count)
+	}
+	if res.Rows[0][0].AsInt() != 3 || res.Rows[1][0].AsInt() != 2 {
+		t.Errorf("ordered groups: %v", res.Rows)
+	}
+}
+
+// TestGroupByReoptimization runs Algorithm 1 over an aggregate query:
+// the skeleton validation must strip the aggregate and still converge.
+func TestGroupByReoptimization(t *testing.T) {
+	cat := aggCatalog(t)
+	q, err := sql.Parse(`SELECT COUNT(*) FROM s, d WHERE s.k = d.k GROUP BY s.g`, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	p, err := opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Root.(*plan.AggregateNode); !ok {
+		t.Fatalf("root should be an aggregate, got %T", p.Root)
+	}
+	res, err := Run(p, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 4 {
+		t.Errorf("groups: %d", res.Count)
+	}
+}
+
+func TestParseGroupOrderLimitErrors(t *testing.T) {
+	cat := aggCatalog(t)
+	for _, text := range []string{
+		`SELECT COUNT(*) FROM s GROUP BY nope`,
+		`SELECT COUNT(*) FROM s ORDER BY nope`,
+		`SELECT COUNT(*) FROM s LIMIT 0`,
+		`SELECT COUNT(*) FROM s LIMIT -3`,
+		`SELECT COUNT(*) FROM s GROUP s.g`,
+	} {
+		if _, err := sql.Parse(text, cat); err == nil {
+			t.Errorf("expected error for %q", text)
+		}
+	}
+}

@@ -1,0 +1,782 @@
+// Package executor evaluates physical plans with Volcano-style
+// iterators. Every operator maintains instrumentation counters (pages
+// read sequentially and randomly, tuples and index entries processed,
+// operator evaluations) so that runs can be expressed in the same
+// currency as the cost model — the basis for cost-unit calibration — and
+// per-node output counts, which the sampling estimator reads off to
+// obtain the cardinality of every join subtree in one pass.
+package executor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"reopt/internal/catalog"
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+	"reopt/internal/storage"
+)
+
+// Counters accumulate the physical work a run performed, in the units of
+// the cost model.
+type Counters struct {
+	SeqPages      int64
+	RandPages     int64
+	Tuples        int64
+	IndexTuples   int64
+	OperatorEvals int64
+}
+
+// Add folds o into c.
+func (c *Counters) Add(o Counters) {
+	c.SeqPages += o.SeqPages
+	c.RandPages += o.RandPages
+	c.Tuples += o.Tuples
+	c.IndexTuples += o.IndexTuples
+	c.OperatorEvals += o.OperatorEvals
+}
+
+// Result is the outcome of executing a plan.
+type Result struct {
+	// Rows holds the output rows (projected per the query) unless the
+	// run was executed in count-only mode.
+	Rows []rel.Row
+	// Count is the number of output rows (always set).
+	Count int64
+	// Duration is the wall-clock execution time.
+	Duration time.Duration
+	// Counters aggregates physical work across all operators.
+	Counters Counters
+	// NodeRows maps each plan node to the number of rows it emitted —
+	// the per-subtree cardinalities the sampling estimator consumes.
+	NodeRows map[plan.Node]int64
+}
+
+// Options tune a run.
+type Options struct {
+	// CountOnly discards output rows, returning only the count; joins
+	// and filters still run in full.
+	CountOnly bool
+	// Binder maps a catalog table name to the storage table to scan.
+	// nil scans the base tables; the sampling layer binds samples.
+	Binder func(name string) (*storage.Table, error)
+}
+
+// Run executes the plan against the catalog.
+func Run(p *plan.Plan, cat *catalog.Catalog, opts Options) (*Result, error) {
+	if opts.Binder == nil {
+		opts.Binder = cat.Table
+	}
+	res := &Result{NodeRows: make(map[plan.Node]int64)}
+	ex := &executor{cat: cat, opts: opts, res: res}
+	start := time.Now()
+	it, err := ex.build(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	project, err := projector(p)
+	if err != nil {
+		return nil, err
+	}
+	// Group-by queries emit their (keys, count) rows directly; a bare
+	// COUNT(*) collapses to a single row.
+	grouped := len(p.Query.GroupBy) > 0
+	for {
+		row, ok := it.next()
+		if !ok {
+			break
+		}
+		res.Count++
+		if !opts.CountOnly && (grouped || !p.Query.CountStar) {
+			res.Rows = append(res.Rows, project(row))
+		}
+	}
+	if p.Query.CountStar && !grouped && !opts.CountOnly {
+		res.Rows = []rel.Row{{rel.Int(res.Count)}}
+	}
+	if err := orderAndLimit(p, res, opts); err != nil {
+		return nil, err
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// orderAndLimit applies ORDER BY and LIMIT to the collected output.
+func orderAndLimit(p *plan.Plan, res *Result, opts Options) error {
+	q := p.Query
+	if len(q.OrderBy) > 0 && !opts.CountOnly {
+		schema := outputSchema(p)
+		idx := make([]int, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			j, err := schema.IndexOf(k.Col.Table, k.Col.Column)
+			if err != nil {
+				return fmt.Errorf("executor: ORDER BY %s: %v", k.Col, err)
+			}
+			idx[i] = j
+		}
+		keys := q.OrderBy
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for i, j := range idx {
+				c := res.Rows[a][j].Compare(res.Rows[b][j])
+				if keys[i].Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if q.Limit > 0 {
+		if int64(q.Limit) < res.Count {
+			res.Count = int64(q.Limit)
+		}
+		if len(res.Rows) > q.Limit {
+			res.Rows = res.Rows[:q.Limit]
+		}
+	}
+	return nil
+}
+
+// outputSchema describes the rows Run returns for ordering purposes.
+func outputSchema(p *plan.Plan) *rel.Schema {
+	q := p.Query
+	if len(q.GroupBy) > 0 || len(q.Projection) == 0 {
+		return p.Root.Schema()
+	}
+	schema := p.Root.Schema()
+	idx := make([]int, 0, len(q.Projection))
+	for _, c := range q.Projection {
+		if j, err := schema.IndexOf(c.Table, c.Column); err == nil {
+			idx = append(idx, j)
+		}
+	}
+	return schema.Project(idx)
+}
+
+// projector builds the output projection function for the plan.
+func projector(p *plan.Plan) (func(rel.Row) rel.Row, error) {
+	q := p.Query
+	if q.CountStar || len(q.Projection) == 0 {
+		return func(r rel.Row) rel.Row { return r.Clone() }, nil
+	}
+	schema := p.Root.Schema()
+	idx := make([]int, len(q.Projection))
+	for i, c := range q.Projection {
+		j, err := schema.IndexOf(c.Table, c.Column)
+		if err != nil {
+			return nil, fmt.Errorf("executor: projection %s: %v", c, err)
+		}
+		idx[i] = j
+	}
+	return func(r rel.Row) rel.Row {
+		out := make(rel.Row, len(idx))
+		for i, j := range idx {
+			out[i] = r[j]
+		}
+		return out
+	}, nil
+}
+
+type executor struct {
+	cat  *catalog.Catalog
+	opts Options
+	res  *Result
+}
+
+// iterator is the Volcano pull interface. Construction validates
+// everything that can fail, so next is error-free.
+type iterator interface {
+	next() (rel.Row, bool)
+}
+
+// counted wraps an iterator to record per-node output counts.
+type counted struct {
+	inner iterator
+	node  plan.Node
+	res   *Result
+}
+
+func (c *counted) next() (rel.Row, bool) {
+	row, ok := c.inner.next()
+	if ok {
+		c.res.NodeRows[c.node]++
+	}
+	return row, ok
+}
+
+func (ex *executor) build(n plan.Node) (iterator, error) {
+	var it iterator
+	var err error
+	switch t := n.(type) {
+	case *plan.ScanNode:
+		it, err = ex.buildScan(t)
+	case *plan.JoinNode:
+		it, err = ex.buildJoin(t)
+	case *plan.AggregateNode:
+		it, err = ex.buildAggregate(t)
+	default:
+		err = fmt.Errorf("executor: unknown node type %T", n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &counted{inner: it, node: n, res: ex.res}, nil
+}
+
+// filterIdx precomputes filter column positions for a schema.
+func filterIdx(schema *rel.Schema, filters []sql.Selection) ([]int, error) {
+	idx := make([]int, len(filters))
+	for i, f := range filters {
+		j, err := schema.IndexOf(f.Col.Table, f.Col.Column)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+func passes(row rel.Row, filters []sql.Selection, idx []int, ctr *Counters) bool {
+	for i, f := range filters {
+		ctr.OperatorEvals++
+		if !sql.EvalSelection(row[idx[i]], f) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Sequential / index scans ---
+
+type seqScanIter struct {
+	table   *storage.Table
+	filters []sql.Selection
+	fidx    []int
+	ctr     *Counters
+	pos     int
+	page    int
+}
+
+func (s *seqScanIter) next() (rel.Row, bool) {
+	for s.pos < s.table.NumRows() {
+		row := s.table.Row(s.pos)
+		if p := s.table.PageOfRow(s.pos); s.pos == 0 || p != s.page {
+			s.page = p
+			s.ctr.SeqPages++
+		}
+		s.pos++
+		s.ctr.Tuples++
+		if passes(row, s.filters, s.fidx, s.ctr) {
+			return row, true
+		}
+	}
+	return nil, false
+}
+
+type indexScanIter struct {
+	table    *storage.Table
+	ids      []int
+	residual []sql.Selection
+	fidx     []int
+	ctr      *Counters
+	pos      int
+}
+
+func (s *indexScanIter) next() (rel.Row, bool) {
+	for s.pos < len(s.ids) {
+		id := s.ids[s.pos]
+		s.pos++
+		s.ctr.IndexTuples++
+		s.ctr.RandPages++ // heap fetch
+		s.ctr.Tuples++
+		row := s.table.Row(id)
+		if passes(row, s.residual, s.fidx, s.ctr) {
+			return row, true
+		}
+	}
+	return nil, false
+}
+
+func (ex *executor) buildScan(s *plan.ScanNode) (iterator, error) {
+	t, err := ex.opts.Binder(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// The plan's schema is aliased; rows come straight from the table,
+	// which has identical column order, so no re-mapping is needed.
+	fidx, err := filterIdx(s.OutSchema, s.Filters)
+	if err != nil {
+		return nil, err
+	}
+	if s.Access == plan.IndexScan {
+		idx := t.Index(s.IndexColumn)
+		if idx != nil {
+			var driving *sql.Selection
+			var residual []sql.Selection
+			var ridx []int
+			for i, f := range s.Filters {
+				if driving == nil && f.Op == sql.OpEq && f.Col.Column == s.IndexColumn {
+					f := f
+					driving = &f
+					continue
+				}
+				residual = append(residual, f)
+				ridx = append(ridx, fidx[i])
+			}
+			if driving != nil {
+				ex.res.Counters.RandPages += int64(idx.Height())
+				return &indexScanIter{
+					table:    t,
+					ids:      idx.Lookup(driving.Value),
+					residual: residual,
+					fidx:     ridx,
+					ctr:      &ex.res.Counters,
+				}, nil
+			}
+		}
+		// The plan wanted an index the bound table lacks (e.g. a sample
+		// table): degrade to a sequential scan, like a hinted system
+		// would.
+	}
+	return &seqScanIter{table: t, filters: s.Filters, fidx: fidx, ctr: &ex.res.Counters}, nil
+}
+
+// --- Joins ---
+
+// predIdx precomputes, for a join, the (left position, right position)
+// of each predicate relative to the two input schemas.
+func predIdx(left, right *rel.Schema, preds []sql.JoinPred) (lidx, ridx []int, err error) {
+	for _, p := range preds {
+		l, lerr := left.IndexOf(p.Left.Table, p.Left.Column)
+		r, rerr := right.IndexOf(p.Right.Table, p.Right.Column)
+		if lerr != nil || rerr != nil {
+			// The predicate may be written with sides swapped relative
+			// to the plan's left/right inputs.
+			l, lerr = left.IndexOf(p.Right.Table, p.Right.Column)
+			r, rerr = right.IndexOf(p.Left.Table, p.Left.Column)
+			if lerr != nil || rerr != nil {
+				return nil, nil, fmt.Errorf("executor: cannot resolve join predicate %s", p)
+			}
+		}
+		lidx = append(lidx, l)
+		ridx = append(ridx, r)
+	}
+	return lidx, ridx, nil
+}
+
+func (ex *executor) buildJoin(j *plan.JoinNode) (iterator, error) {
+	left, err := ex.build(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	lidx, ridx, err := predIdx(j.Left.Schema(), j.Right.Schema(), j.Preds)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Kind {
+	case plan.HashJoin:
+		right, err := ex.build(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		return newHashJoin(left, right, lidx, ridx, &ex.res.Counters), nil
+	case plan.MergeJoin:
+		right, err := ex.build(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		return newMergeJoin(left, right, lidx, ridx, &ex.res.Counters), nil
+	case plan.IndexNestedLoop:
+		return ex.buildIndexNL(j, left, lidx, ridx)
+	default: // plan.NestedLoop
+		right, err := ex.build(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		// Materialize the inner side once; rescans replay it.
+		var inner []rel.Row
+		for {
+			row, ok := right.next()
+			if !ok {
+				break
+			}
+			inner = append(inner, row)
+		}
+		return &nestLoopIter{
+			left: left, inner: inner,
+			lidx: lidx, ridx: ridx,
+			ctr: &ex.res.Counters,
+		}, nil
+	}
+}
+
+type nestLoopIter struct {
+	left       iterator
+	inner      []rel.Row
+	lidx, ridx []int
+	ctr        *Counters
+
+	cur    rel.Row
+	curOK  bool
+	innerI int
+}
+
+func (n *nestLoopIter) next() (rel.Row, bool) {
+	for {
+		if !n.curOK {
+			n.cur, n.curOK = n.left.next()
+			if !n.curOK {
+				return nil, false
+			}
+			n.innerI = 0
+		}
+		for n.innerI < len(n.inner) {
+			r := n.inner[n.innerI]
+			n.innerI++
+			n.ctr.Tuples++
+			match := true
+			for k := range n.lidx {
+				n.ctr.OperatorEvals++
+				if !n.cur[n.lidx[k]].Equal(r[n.ridx[k]]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				return n.cur.Concat(r), true
+			}
+		}
+		n.curOK = false
+	}
+}
+
+// --- Hash join ---
+
+type hashJoinIter struct {
+	left       iterator
+	lidx, ridx []int
+	ctr        *Counters
+	table      map[string][]rel.Row
+
+	cur     rel.Row
+	matches []rel.Row
+	matchI  int
+}
+
+func joinKey(row rel.Row, idx []int) string {
+	// Keys are concatenated canonical value strings; sep avoids
+	// ambiguity between multi-column keys.
+	k := ""
+	for _, i := range idx {
+		k += row[i].String() + "\x1f"
+	}
+	return k
+}
+
+func newHashJoin(left, right iterator, lidx, ridx []int, ctr *Counters) *hashJoinIter {
+	h := &hashJoinIter{left: left, lidx: lidx, ridx: ridx, ctr: ctr,
+		table: make(map[string][]rel.Row)}
+	for {
+		row, ok := right.next()
+		if !ok {
+			break
+		}
+		ctr.OperatorEvals++
+		ctr.Tuples++
+		hasNull := false
+		for _, i := range ridx {
+			if row[i].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			continue
+		}
+		k := joinKey(row, ridx)
+		h.table[k] = append(h.table[k], row)
+	}
+	return h
+}
+
+func (h *hashJoinIter) next() (rel.Row, bool) {
+	for {
+		if h.matchI < len(h.matches) {
+			r := h.matches[h.matchI]
+			h.matchI++
+			return h.cur.Concat(r), true
+		}
+		row, ok := h.left.next()
+		if !ok {
+			return nil, false
+		}
+		h.ctr.OperatorEvals++
+		hasNull := false
+		for _, i := range h.lidx {
+			if row[i].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			continue
+		}
+		h.cur = row
+		h.matches = h.table[joinKey(row, h.lidx)]
+		h.matchI = 0
+	}
+}
+
+// --- Merge join ---
+
+type mergeJoinIter struct {
+	out []rel.Row
+	pos int
+}
+
+func (m *mergeJoinIter) next() (rel.Row, bool) {
+	if m.pos >= len(m.out) {
+		return nil, false
+	}
+	r := m.out[m.pos]
+	m.pos++
+	return r, true
+}
+
+// newMergeJoin materializes and sorts both inputs on the join key, then
+// merges equal-key groups. Output order follows the sort, as a real
+// merge join's would.
+func newMergeJoin(left, right iterator, lidx, ridx []int, ctr *Counters) *mergeJoinIter {
+	var lrows, rrows []rel.Row
+	for {
+		row, ok := left.next()
+		if !ok {
+			break
+		}
+		lrows = append(lrows, row)
+	}
+	for {
+		row, ok := right.next()
+		if !ok {
+			break
+		}
+		rrows = append(rrows, row)
+	}
+	cmpRows := func(a, b rel.Row, idx []int) int {
+		for _, i := range idx {
+			if c := a[i].Compare(b[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	ctr.OperatorEvals += int64(sortCostOps(len(lrows)) + sortCostOps(len(rrows)))
+	sort.SliceStable(lrows, func(i, j int) bool { return cmpRows(lrows[i], lrows[j], lidx) < 0 })
+	sort.SliceStable(rrows, func(i, j int) bool { return cmpRows(rrows[i], rrows[j], ridx) < 0 })
+
+	cmpLR := func(l, r rel.Row) int {
+		for k := range lidx {
+			if c := l[lidx[k]].Compare(r[ridx[k]]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	var out []rel.Row
+	i, j := 0, 0
+	for i < len(lrows) && j < len(rrows) {
+		ctr.OperatorEvals++
+		c := cmpLR(lrows[i], rrows[j])
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// NULL keys never join.
+			if lrows[i][lidx[0]].IsNull() {
+				i++
+				continue
+			}
+			// Expand the equal-key group on both sides.
+			i2 := i
+			for i2 < len(lrows) && cmpLR(lrows[i2], rrows[j]) == 0 {
+				i2++
+			}
+			j2 := j
+			for j2 < len(rrows) && cmpLR(lrows[i], rrows[j2]) == 0 {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					ctr.Tuples++
+					out = append(out, lrows[a].Concat(rrows[b]))
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return &mergeJoinIter{out: out}
+}
+
+func sortCostOps(n int) int {
+	ops := 0
+	for m := n; m > 1; m >>= 1 {
+		ops += n
+	}
+	return ops
+}
+
+// --- Hash aggregate ---
+
+type hashAggIter struct {
+	out []rel.Row
+	pos int
+}
+
+func (h *hashAggIter) next() (rel.Row, bool) {
+	if h.pos >= len(h.out) {
+		return nil, false
+	}
+	r := h.out[h.pos]
+	h.pos++
+	return r, true
+}
+
+func (ex *executor) buildAggregate(a *plan.AggregateNode) (iterator, error) {
+	child, err := ex.build(a.Child)
+	if err != nil {
+		return nil, err
+	}
+	schema := a.Child.Schema()
+	idx := make([]int, len(a.GroupBy))
+	for i, c := range a.GroupBy {
+		j, err := schema.IndexOf(c.Table, c.Column)
+		if err != nil {
+			return nil, fmt.Errorf("executor: GROUP BY %s: %v", c, err)
+		}
+		idx[i] = j
+	}
+	groups := make(map[string]rel.Row) // key -> group key values
+	counts := make(map[string]int64)
+	var order []string // first-seen order for determinism
+	for {
+		row, ok := child.next()
+		if !ok {
+			break
+		}
+		ex.res.Counters.OperatorEvals++
+		key := joinKey(row, idx)
+		if _, seen := groups[key]; !seen {
+			keyRow := make(rel.Row, len(idx))
+			for i, j := range idx {
+				keyRow[i] = row[j]
+			}
+			groups[key] = keyRow
+			order = append(order, key)
+		}
+		counts[key]++
+	}
+	out := make([]rel.Row, 0, len(order))
+	for _, key := range order {
+		ex.res.Counters.Tuples++
+		out = append(out, append(groups[key].Clone(), rel.Int(counts[key])))
+	}
+	return &hashAggIter{out: out}, nil
+}
+
+// --- Index nested-loop join ---
+
+type indexNLIter struct {
+	left     iterator
+	table    *storage.Table
+	index    *storage.Index
+	outerCol int // position in left schema of the probe key
+	residual []sql.Selection
+	fidx     []int
+	extraL   []int // remaining predicate positions (left)
+	extraR   []int // remaining predicate positions (inner table row)
+	ctr      *Counters
+
+	cur     rel.Row
+	matches []int
+	matchI  int
+	haveCur bool
+}
+
+func (ex *executor) buildIndexNL(j *plan.JoinNode, left iterator, lidx, ridx []int) (iterator, error) {
+	inner, ok := j.Right.(*plan.ScanNode)
+	if !ok {
+		return nil, fmt.Errorf("executor: index nested-loop inner must be a base relation")
+	}
+	t, err := ex.opts.Binder(inner.Table)
+	if err != nil {
+		return nil, err
+	}
+	idx := t.Index(inner.IndexColumn)
+	if idx == nil {
+		// Bound table lacks the index (sample run): degrade to hash join.
+		right, err := ex.build(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		return newHashJoin(left, right, lidx, ridx, &ex.res.Counters), nil
+	}
+	fidx, err := filterIdx(inner.OutSchema, inner.Filters)
+	if err != nil {
+		return nil, err
+	}
+	it := &indexNLIter{
+		left:     left,
+		table:    t,
+		index:    idx,
+		outerCol: lidx[0],
+		residual: inner.Filters,
+		fidx:     fidx,
+		extraL:   lidx[1:],
+		extraR:   ridx[1:],
+		ctr:      &ex.res.Counters,
+	}
+	return it, nil
+}
+
+func (ix *indexNLIter) next() (rel.Row, bool) {
+	for {
+		if !ix.haveCur {
+			ix.cur, ix.haveCur = ix.left.next()
+			if !ix.haveCur {
+				return nil, false
+			}
+			ix.ctr.RandPages += int64(ix.index.Height())
+			ix.matches = ix.index.Lookup(ix.cur[ix.outerCol])
+			ix.matchI = 0
+		}
+		for ix.matchI < len(ix.matches) {
+			id := ix.matches[ix.matchI]
+			ix.matchI++
+			ix.ctr.IndexTuples++
+			ix.ctr.RandPages++
+			ix.ctr.Tuples++
+			row := ix.table.Row(id)
+			if !passes(row, ix.residual, ix.fidx, ix.ctr) {
+				continue
+			}
+			match := true
+			for k := range ix.extraL {
+				ix.ctr.OperatorEvals++
+				if !ix.cur[ix.extraL[k]].Equal(row[ix.extraR[k]]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				return ix.cur.Concat(row), true
+			}
+		}
+		ix.haveCur = false
+	}
+}

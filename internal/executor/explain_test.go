@@ -1,0 +1,47 @@
+package executor
+
+import (
+	"strings"
+	"testing"
+
+	"reopt/internal/plan"
+	"reopt/internal/sql"
+)
+
+func TestExplainAnalyze(t *testing.T) {
+	cat := buildCatalog(t, 21, 400, 200)
+	l := scanNode(cat, "l")
+	l.Rows = 1 // deliberately wrong estimate
+	r := scanNode(cat, "r")
+	r.Rows = 200
+	j := joinNode(plan.HashJoin, l, r, kPred)
+	j.Rows = 50
+	p := &plan.Plan{Root: j, Query: &sql.Query{}}
+	res, err := Run(p, cat, Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExplainAnalyze(p, res)
+	for _, want := range []string{
+		"HashJoin", "SeqScan on l", "actual=400", "underestimated",
+		"Execution:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain analyze missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainAnalyzeOverestimate(t *testing.T) {
+	cat := buildCatalog(t, 22, 10, 10)
+	l := scanNode(cat, "l")
+	l.Rows = 100000
+	p := &plan.Plan{Root: l, Query: &sql.Query{}}
+	res, err := Run(p, cat, Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ExplainAnalyze(p, res); !strings.Contains(out, "overestimated") {
+		t.Errorf("missing overestimate marker:\n%s", out)
+	}
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reopt/internal/cost"
+	"reopt/internal/executor"
+	"reopt/internal/optimizer"
+	"reopt/internal/workload/ott"
+)
+
+// ottSeries measures every OTT query of one batch under one unit
+// setting, caching results.
+func (r *Runner) ottSeries(nTables int, calibrated bool, perRound bool) ([]queryMetric, error) {
+	if r.ottSeriesCache == nil {
+		r.ottSeriesCache = map[string][]queryMetric{}
+	}
+	key := fmt.Sprintf("n=%d cal=%v rounds=%v", nTables, calibrated, perRound)
+	if m, ok := r.ottSeriesCache[key]; ok {
+		return m, nil
+	}
+	cat, err := r.ottCatalog()
+	if err != nil {
+		return nil, err
+	}
+	count := r.cfg.OTT4Count
+	if nTables == 6 {
+		count = r.cfg.OTT5Count
+	}
+	qs, err := ott.Queries(cat, ott.QueryConfig{
+		NumTables:    nTables,
+		SameConstant: 4,
+		Count:        count,
+		Seed:         r.cfg.Seed + int64(nTables),
+	})
+	if err != nil {
+		return nil, err
+	}
+	units := cost.DefaultUnits
+	if calibrated {
+		units = r.CalibratedUnits()
+	}
+	out := make([]queryMetric, 0, len(qs))
+	for i, q := range qs {
+		qm, err := measureOne(cat, units, q, perRound)
+		if err != nil {
+			return nil, fmt.Errorf("ott n=%d query %d: %w", nTables, i+1, err)
+		}
+		out = append(out, qm)
+	}
+	r.ottSeriesCache[key] = out
+	return out, nil
+}
+
+// ottRuntimeFigure builds the Figure 10/11 shape.
+func (r *Runner) ottRuntimeFigure(id, title string, nTables int) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"query", "calibrated", "orig_ms", "reopt_ms"},
+	}
+	for _, calibrated := range []bool{false, true} {
+		series, err := r.ottSeries(nTables, calibrated, false)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range series {
+			t.AddRow(i+1, yesNo(calibrated), m.origMs, m.reoptMs)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: original plans run 100-1000s of seconds when the optimizer misses empty joins; re-optimized plans all finish <1s. The shape target is the orders-of-magnitude collapse of reopt_ms for queries with large orig_ms.")
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: OTT 4-join query runtimes.
+func (r *Runner) Fig10() (*Table, error) {
+	return r.ottRuntimeFigure("fig10", "OTT 4-join (n=5, m=4): original vs re-optimized running time", 5)
+}
+
+// Fig11 reproduces Figure 11: OTT 5-join query runtimes.
+func (r *Runner) Fig11() (*Table, error) {
+	return r.ottRuntimeFigure("fig11", "OTT 5-join (n=6, m=4): original vs re-optimized running time", 6)
+}
+
+// ottProfileFigure builds the Figure 12/13 shape: OTT original-plan
+// runtimes under an emulated commercial-system estimation profile (the
+// paper shows those systems' original plans only — no re-optimization
+// is available there).
+func (r *Runner) ottProfileFigure(id, title string, profile *optimizer.Profile) (*Table, error) {
+	cat, err := r.ottCatalog()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"joins", "query", "orig_ms"},
+	}
+	for _, nTables := range []int{5, 6} {
+		count := r.cfg.OTT4Count
+		if nTables == 6 {
+			count = r.cfg.OTT5Count
+		}
+		qs, err := ott.Queries(cat, ott.QueryConfig{
+			NumTables:    nTables,
+			SameConstant: 4,
+			Count:        count,
+			Seed:         r.cfg.Seed + int64(nTables),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := optimizer.DefaultConfig()
+		cfg.Profile = profile
+		opt := optimizer.New(cat, cfg)
+		for i, q := range qs {
+			p, err := opt.Optimize(q, nil)
+			if err != nil {
+				return nil, err
+			}
+			run, err := executor.Run(p, cat, executor.Options{CountOnly: true})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(nTables-1, i+1, ms(run.Duration))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"emulated profile shares the AVI assumption, so it fails the OTT the same way (paper's point in §5.3)")
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: OTT on "commercial system A".
+func (r *Runner) Fig12() (*Table, error) {
+	return r.ottProfileFigure("fig12", "OTT on emulated commercial system A (plain 1/max(ndv) joins)", optimizer.SystemAProfile())
+}
+
+// Fig13 reproduces Figure 13: OTT on "commercial system B".
+func (r *Runner) Fig13() (*Table, error) {
+	return r.ottProfileFigure("fig13", "OTT on emulated commercial system B (sampled leaf estimates)", optimizer.SystemBProfile())
+}
+
+// Fig15 reproduces Figure 15: per-round plan runtimes for OTT queries
+// with at least two generated plans (uncalibrated, as in the paper).
+func (r *Runner) Fig15() (*Table, error) {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "OTT (uncalibrated): running time of plans generated per re-optimization round",
+		Headers: []string{"joins", "query", "round", "ms"},
+	}
+	for _, nTables := range []int{5, 6} {
+		series, err := r.ottSeries(nTables, false, true)
+		if err != nil {
+			return nil, err
+		}
+		for i, qm := range series {
+			if len(qm.roundsMs) < 2 {
+				continue
+			}
+			for round, v := range qm.roundsMs {
+				t.AddRow(nTables-1, i+1, round+1, v)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig16 reproduces Figure 16: OTT plan counts with/without calibration.
+func (r *Runner) Fig16() (*Table, error) {
+	t := &Table{
+		ID:      "fig16",
+		Title:   "OTT: number of plans generated during re-optimization",
+		Headers: []string{"joins", "query", "plans_nocal", "plans_cal"},
+	}
+	for _, nTables := range []int{5, 6} {
+		nocal, err := r.ottSeries(nTables, false, false)
+		if err != nil {
+			return nil, err
+		}
+		cal, err := r.ottSeries(nTables, true, false)
+		if err != nil {
+			return nil, err
+		}
+		for i := range nocal {
+			t.AddRow(nTables-1, i+1, nocal[i].plans, cal[i].plans)
+		}
+	}
+	return t, nil
+}
+
+// ottOverheadFigure builds the Figure 17/18 shape.
+func (r *Runner) ottOverheadFigure(id, title string, nTables int) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"query", "calibrated", "exec_ms", "exec_plus_reopt_ms"},
+	}
+	for _, calibrated := range []bool{false, true} {
+		series, err := r.ottSeries(nTables, calibrated, false)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range series {
+			t.AddRow(i+1, yesNo(calibrated), m.reoptMs, m.reoptMs+m.overheadMs)
+		}
+	}
+	return t, nil
+}
+
+// Fig17 reproduces Figure 17: OTT 4-join overheads.
+func (r *Runner) Fig17() (*Table, error) {
+	return r.ottOverheadFigure("fig17", "OTT 4-join: execution time excluding/including re-optimization", 5)
+}
+
+// Fig18 reproduces Figure 18: OTT 5-join overheads.
+func (r *Runner) Fig18() (*Table, error) {
+	return r.ottOverheadFigure("fig18", "OTT 5-join: execution time excluding/including re-optimization", 6)
+}

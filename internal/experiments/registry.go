@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment pairs a figure ID with its runner.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(r *Runner) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "S_N vs N (Eq. 1, Thm. 3)", (*Runner).Fig3},
+		{"fig4", "TPC-H uniform runtimes", (*Runner).Fig4},
+		{"fig5", "TPC-H uniform plan counts", (*Runner).Fig5},
+		{"fig6", "TPC-H uniform re-opt overhead", (*Runner).Fig6},
+		{"fig7", "TPC-H skewed runtimes", (*Runner).Fig7},
+		{"fig8", "TPC-H skewed plan counts", (*Runner).Fig8},
+		{"fig9", "TPC-H skewed re-opt overhead", (*Runner).Fig9},
+		{"fig10", "OTT 4-join runtimes", (*Runner).Fig10},
+		{"fig11", "OTT 5-join runtimes", (*Runner).Fig11},
+		{"fig12", "OTT on commercial system A", (*Runner).Fig12},
+		{"fig13", "OTT on commercial system B", (*Runner).Fig13},
+		{"fig14", "TPC-H per-round plan runtimes", (*Runner).Fig14},
+		{"fig15", "OTT per-round plan runtimes", (*Runner).Fig15},
+		{"fig16", "OTT plan counts", (*Runner).Fig16},
+		{"fig17", "OTT 4-join re-opt overhead", (*Runner).Fig17},
+		{"fig18", "OTT 5-join re-opt overhead", (*Runner).Fig18},
+		{"fig19", "TPC-DS runtimes (incl. Q50')", (*Runner).Fig19},
+		{"fig20", "TPC-DS plan counts", (*Runner).Fig20},
+		{"ex2", "2-D histogram analysis (§5.3.1)", (*Runner).Ex2},
+		{"midquery", "extension: compile-time vs runtime re-optimization", (*Runner).MidQuery},
+		{"plandiag", "extension: plan diagram over the selectivity space", (*Runner).PlanDiag},
+		{"estimators", "extension: histogram vs sampling vs sketch estimates", (*Runner).Estimators},
+		{"appB", "Appendix B bounds", (*Runner).AppB},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, ids)
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reopt/internal/cost"
+	"reopt/internal/workload/tpch"
+)
+
+// tpchSeries computes (and caches) the per-template metrics for one
+// TPC-H database (skew z) under one cost-unit setting.
+func (r *Runner) tpchSeries(z float64, calibrated bool, perRound bool) (map[int]metrics, error) {
+	if r.tpchSeriesCache == nil {
+		r.tpchSeriesCache = map[string]map[int]metrics{}
+	}
+	key := fmt.Sprintf("z=%v cal=%v rounds=%v", z, calibrated, perRound)
+	if m, ok := r.tpchSeriesCache[key]; ok {
+		return m, nil
+	}
+	cat, err := r.tpchCat(z)
+	if err != nil {
+		return nil, err
+	}
+	units := cost.DefaultUnits
+	if calibrated {
+		units = r.CalibratedUnits()
+	}
+	out := map[int]metrics{}
+	for _, id := range tpch.QueryIDs() {
+		qs, err := tpch.Instances(cat, id, r.cfg.Instances, r.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m, err := measureSet(cat, units, qs, perRound)
+		if err != nil {
+			return nil, fmt.Errorf("tpch z=%v Q%d: %w", z, id, err)
+		}
+		out[id] = m
+	}
+	r.tpchSeriesCache[key] = out
+	return out, nil
+}
+
+// tpchRuntimeFigure builds the Figure 4/7 shape: per query, average
+// running time of the original vs re-optimized plan, with standard
+// deviations, for both cost-unit settings.
+func (r *Runner) tpchRuntimeFigure(id, title string, z float64) (*Table, error) {
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Headers: []string{"query", "calibrated", "orig_ms", "orig_sd",
+			"reopt_ms", "reopt_sd"},
+	}
+	for _, calibrated := range []bool{false, true} {
+		series, err := r.tpchSeries(z, calibrated, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, qid := range tpch.QueryIDs() {
+			m := series[qid]
+			t.AddRow(fmt.Sprintf("Q%d", qid), yesNo(calibrated),
+				m.origMs, m.origSd, m.reoptMs, m.reoptSd)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper reports seconds on 10GB; shapes (which queries improve, by what factor) are the comparison target")
+	return t, nil
+}
+
+// tpchPlansFigure builds the Figure 5/8 shape: number of plans generated
+// during re-optimization, with and without calibration.
+func (r *Runner) tpchPlansFigure(id, title string, z float64) (*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"query", "plans_nocal", "plans_cal"},
+	}
+	nocal, err := r.tpchSeries(z, false, false)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := r.tpchSeries(z, true, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, qid := range tpch.QueryIDs() {
+		t.AddRow(fmt.Sprintf("Q%d", qid), nocal[qid].plans, cal[qid].plans)
+	}
+	return t, nil
+}
+
+// tpchOverheadFigure builds the Figure 6/9 shape: execution time of the
+// final plan excluding vs including the re-optimization overhead.
+func (r *Runner) tpchOverheadFigure(id, title string, z float64) (*Table, error) {
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Headers: []string{"query", "calibrated", "exec_ms",
+			"exec_plus_reopt_ms", "overhead_pct"},
+	}
+	for _, calibrated := range []bool{false, true} {
+		series, err := r.tpchSeries(z, calibrated, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, qid := range tpch.QueryIDs() {
+			m := series[qid]
+			total := m.reoptMs + m.overheadMs
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * m.overheadMs / total
+			}
+			t.AddRow(fmt.Sprintf("Q%d", qid), yesNo(calibrated),
+				m.reoptMs, total, pct)
+		}
+	}
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: TPC-H uniform (z=0) runtimes.
+func (r *Runner) Fig4() (*Table, error) {
+	return r.tpchRuntimeFigure("fig4", "TPC-H uniform (z=0): original vs re-optimized running time", 0)
+}
+
+// Fig5 reproduces Figure 5: plan counts, uniform.
+func (r *Runner) Fig5() (*Table, error) {
+	return r.tpchPlansFigure("fig5", "TPC-H uniform (z=0): plans generated during re-optimization", 0)
+}
+
+// Fig6 reproduces Figure 6: overhead, uniform.
+func (r *Runner) Fig6() (*Table, error) {
+	return r.tpchOverheadFigure("fig6", "TPC-H uniform (z=0): execution time excluding/including re-optimization", 0)
+}
+
+// Fig7 reproduces Figure 7: TPC-H skewed (z=1) runtimes.
+func (r *Runner) Fig7() (*Table, error) {
+	return r.tpchRuntimeFigure("fig7", "TPC-H skewed (z=1): original vs re-optimized running time", 1)
+}
+
+// Fig8 reproduces Figure 8: plan counts, skewed.
+func (r *Runner) Fig8() (*Table, error) {
+	return r.tpchPlansFigure("fig8", "TPC-H skewed (z=1): plans generated during re-optimization", 1)
+}
+
+// Fig9 reproduces Figure 9: overhead, skewed.
+func (r *Runner) Fig9() (*Table, error) {
+	return r.tpchOverheadFigure("fig9", "TPC-H skewed (z=1): execution time excluding/including re-optimization", 1)
+}
+
+// Fig14 reproduces Figure 14: per-round plan runtimes for the TPC-H
+// queries whose re-optimization generated at least two plans (the paper
+// shows Q8, Q9, Q21 on the uniform database without calibration).
+func (r *Runner) Fig14() (*Table, error) {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "TPC-H (z=0, uncalibrated): running time of plans generated per re-optimization round",
+		Headers: []string{"query", "instance", "round", "ms"},
+	}
+	series, err := r.tpchSeries(0, false, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, qid := range tpch.QueryIDs() {
+		for inst, qm := range series[qid].perQuery {
+			if len(qm.roundsMs) < 2 {
+				continue
+			}
+			for round, v := range qm.roundsMs {
+				t.AddRow(fmt.Sprintf("Q%d", qid), inst+1, round+1, v)
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "only queries with >=2 generated plans appear, as in the paper")
+	return t, nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

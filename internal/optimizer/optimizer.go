@@ -1,0 +1,140 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"reopt/internal/catalog"
+	"reopt/internal/cost"
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+)
+
+// DefaultDPThreshold mirrors PostgreSQL's geqo_threshold: queries joining
+// more relations than this use the randomized search instead of the
+// exhaustive dynamic program.
+const DefaultDPThreshold = 12
+
+// Config tunes the optimizer.
+type Config struct {
+	// Units are the cost units; zero value means cost.DefaultUnits.
+	Units cost.Units
+	// BushyTrees enables bushy join trees in the DP (left-deep plans are
+	// always considered).
+	BushyTrees bool
+	// DPThreshold is the maximum relation count for exhaustive DP; 0
+	// means DefaultDPThreshold.
+	DPThreshold int
+	// Profile selects the estimation profile; nil means PostgresProfile.
+	Profile *Profile
+	// Seed drives the randomized search for large queries.
+	Seed int64
+}
+
+// DefaultConfig returns the standard configuration: PostgreSQL-style
+// estimation, default cost units, bushy trees enabled.
+func DefaultConfig() Config {
+	return Config{
+		Units:       cost.DefaultUnits,
+		BushyTrees:  true,
+		DPThreshold: DefaultDPThreshold,
+	}
+}
+
+// Optimizer is a cost-based query optimizer over a catalog.
+type Optimizer struct {
+	cat   *catalog.Catalog
+	cfg   Config
+	model *cost.Model
+}
+
+// New returns an optimizer. A zero Units config is replaced by the
+// defaults so that Config{} is usable.
+func New(cat *catalog.Catalog, cfg Config) *Optimizer {
+	if cfg.Units == (cost.Units{}) {
+		cfg.Units = cost.DefaultUnits
+	}
+	if cfg.DPThreshold <= 0 {
+		cfg.DPThreshold = DefaultDPThreshold
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = PostgresProfile()
+	}
+	return &Optimizer{cat: cat, cfg: cfg, model: cost.NewModel(cfg.Units)}
+}
+
+// Catalog returns the catalog the optimizer plans against.
+func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
+
+// Config returns the active configuration.
+func (o *Optimizer) Config() Config { return o.cfg }
+
+// Units returns the active cost units.
+func (o *Optimizer) Units() cost.Units { return o.cfg.Units }
+
+// Optimize plans the query. gamma may be nil (plain optimization) or a
+// store of sampling-validated cardinalities, which override the
+// statistics-based estimates for every relation set they cover — this is
+// the GetPlanFromOptimizer(Γ) of Algorithm 1.
+func (o *Optimizer) Optimize(q *sql.Query, gamma *Gamma) (*plan.Plan, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("optimizer: query has no tables")
+	}
+	e, err := newEstimator(o.cat, q, gamma, o.cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	var root plan.Node
+	if len(q.Tables) <= o.cfg.DPThreshold {
+		root, err = o.searchDP(e)
+	} else {
+		root, err = o.searchRandomized(e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(q.GroupBy) > 0 {
+		root, err = o.addAggregate(e, q, root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &plan.Plan{Root: root, Query: q}, nil
+}
+
+// addAggregate wraps the join tree in a hash aggregate for GROUP BY
+// queries. The group count estimate multiplies the grouping columns'
+// distinct counts (AVI again), capped by the input cardinality.
+func (o *Optimizer) addAggregate(e *estimator, q *sql.Query, root plan.Node) (plan.Node, error) {
+	schema := root.Schema()
+	groups := 1.0
+	outCols := make([]rel.Column, 0, len(q.GroupBy)+1)
+	for _, c := range q.GroupBy {
+		j, err := schema.IndexOf(c.Table, c.Column)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: GROUP BY %s: %v", c, err)
+		}
+		outCols = append(outCols, schema.Columns[j])
+		if tr, ok := q.TableByAlias(c.Table); ok {
+			if cs := o.cat.ColumnStats(tr.Name, c.Column); cs != nil && cs.NumDistinct > 0 {
+				groups *= float64(cs.NumDistinct)
+			}
+		}
+	}
+	outCols = append(outCols, rel.Column{Table: "", Name: "count", Kind: rel.KindInt})
+	inRows := root.EstRows()
+	if groups > inRows {
+		groups = inRows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	cost := root.Cost() + inRows*o.model.U.CPUOperator + groups*o.model.U.CPUTuple
+	return &plan.AggregateNode{
+		GroupBy:   q.GroupBy,
+		Child:     root,
+		OutSchema: rel.NewSchema(outCols...),
+		Rows:      groups,
+		CostVal:   cost,
+	}, nil
+}

@@ -1,0 +1,380 @@
+package optimizer
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/executor"
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+	"reopt/internal/stats"
+	"reopt/internal/storage"
+	"reopt/internal/workload/ott"
+)
+
+// chainCatalog builds k tables t1..tk with an indexed join column.
+func chainCatalog(t testing.TB, k, rows int) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for i := 1; i <= k; i++ {
+		name := tname(i)
+		tab := storage.NewTable(name, rel.NewSchema(
+			rel.Column{Name: "k", Kind: rel.KindInt},
+			rel.Column{Name: "v", Kind: rel.KindInt},
+		))
+		for j := 0; j < rows; j++ {
+			tab.MustAppend(rel.Row{rel.Int(int64(j % 50)), rel.Int(int64(j % 11))})
+		}
+		if _, err := tab.CreateIndex("k"); err != nil {
+			t.Fatal(err)
+		}
+		cat.MustAddTable(tab)
+	}
+	if err := cat.AnalyzeAll(stats.AnalyzeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cat.BuildSamples(1)
+	return cat
+}
+
+func tname(i int) string {
+	return "t" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func chainQuery(t testing.TB, cat *catalog.Catalog, k int) *sql.Query {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("SELECT COUNT(*) FROM ")
+	for i := 1; i <= k; i++ {
+		if i > 1 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(tname(i))
+	}
+	sb.WriteString(" WHERE ")
+	for i := 1; i < k; i++ {
+		if i > 1 {
+			sb.WriteString(" AND ")
+		}
+		sb.WriteString(tname(i) + ".k = " + tname(i+1) + ".k")
+	}
+	q, err := sql.Parse(sb.String(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestOptimizeProducesValidPlan(t *testing.T) {
+	cat := chainCatalog(t, 4, 500)
+	q := chainQuery(t, cat, 4)
+	opt := New(cat, DefaultConfig())
+	p, err := opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan must cover all four relations exactly once.
+	aliases := p.Root.Aliases()
+	if len(aliases) != 4 {
+		t.Fatalf("aliases: %v", aliases)
+	}
+	seen := map[string]bool{}
+	for _, a := range aliases {
+		if seen[a] {
+			t.Fatalf("alias %s appears twice", a)
+		}
+		seen[a] = true
+	}
+	if p.Cost() <= 0 {
+		t.Error("plan cost must be positive")
+	}
+	// And must execute.
+	if _, err := executor.Run(p, cat, executor.Options{CountOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaOverridesEstimates(t *testing.T) {
+	cat := chainCatalog(t, 3, 500)
+	q := chainQuery(t, cat, 3)
+	opt := New(cat, DefaultConfig())
+
+	base, err := opt.EstimateCardinality(q, []string{"t01", "t02"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGamma()
+	key := GammaKeyFor([]string{"t01", "t02"})
+	g.Set(key, base*1000)
+	p, err := opt.Optimize(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the node joining exactly {t01, t02}, if present, and check
+	// its estimate reflects Γ.
+	found := false
+	plan.Walk(p.Root, func(n plan.Node) {
+		j, ok := n.(*plan.JoinNode)
+		if !ok {
+			return
+		}
+		if plan.CanonicalSet(j.Aliases()) == key {
+			found = true
+			if math.Abs(j.EstRows()-base*1000) > 1e-6 {
+				t.Errorf("join est %v, want %v", j.EstRows(), base*1000)
+			}
+		}
+	})
+	_ = found // the optimizer may avoid the inflated pair entirely — also fine
+}
+
+func TestGammaChangesPlanChoice(t *testing.T) {
+	// On an OTT query, validating the true (zero) cardinalities must
+	// change the chosen plan or at least not degrade it.
+	cat, err := ott.Generate(ott.Config{Seed: 3, RowsPerValue: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ott.Queries(cat, ott.QueryConfig{NumTables: 4, SameConstant: 3, Count: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	opt := New(cat, DefaultConfig())
+	p1, err := opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim the full join is enormous: the optimizer's plan must still
+	// be valid and executable.
+	g := NewGamma()
+	g.Set(GammaKeyFor(q.Aliases()), 1e12)
+	p2, err := opt.Optimize(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*plan.Plan{p1, p2} {
+		if _, err := executor.Run(p, cat, executor.Options{CountOnly: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRecostMatchesOptimizeEstimates(t *testing.T) {
+	cat := chainCatalog(t, 4, 500)
+	q := chainQuery(t, cat, 4)
+	opt := New(cat, DefaultConfig())
+	p, err := opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := opt.Recost(q, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Fingerprint() != p.Fingerprint() {
+		t.Error("recost changed the plan structure")
+	}
+	if math.Abs(rp.Cost()-p.Cost())/p.Cost() > 1e-9 {
+		t.Errorf("recost cost %v vs optimize cost %v", rp.Cost(), p.Cost())
+	}
+	if math.Abs(rp.EstRows()-p.EstRows()) > 1e-9 {
+		t.Errorf("recost rows %v vs optimize rows %v", rp.EstRows(), p.EstRows())
+	}
+}
+
+func TestSearchSpaceSizeChain(t *testing.T) {
+	cat := chainCatalog(t, 3, 100)
+	opt := New(cat, DefaultConfig())
+	// Chain of 3 (t1-t2-t3): trees are (t1⋈t2)⋈t3, (t2⋈t3)⋈t1, and — by
+	// the cross-product fallback being unused — exactly those two plus
+	// any bushy variants; for 3 relations in a chain there are 2.
+	q := chainQuery(t, cat, 3)
+	n, err := opt.SearchSpaceSize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("chain-3 search space: %v, want 2", n)
+	}
+	// Chain of 4: {((12)3)4, (12)(34), ((23)1)4, ...} — count must grow.
+	cat4 := chainCatalog(t, 4, 100)
+	q4 := chainQuery(t, cat4, 4)
+	n4, err := New(cat4, DefaultConfig()).SearchSpaceSize(q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n4 <= n {
+		t.Errorf("search space should grow with chain length: %v vs %v", n4, n)
+	}
+}
+
+func TestLeftDeepOnlyConfig(t *testing.T) {
+	cat := chainCatalog(t, 5, 200)
+	q := chainQuery(t, cat, 5)
+	cfg := DefaultConfig()
+	cfg.BushyTrees = false
+	opt := New(cat, cfg)
+	p, err := opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every join's right input must be a base relation (left-deep).
+	plan.Walk(p.Root, func(n plan.Node) {
+		if j, ok := n.(*plan.JoinNode); ok {
+			if _, isScan := j.Right.(*plan.ScanNode); !isScan {
+				t.Errorf("left-deep config produced bushy join: %s", j.Fingerprint())
+			}
+		}
+	})
+}
+
+func TestRandomizedSearchLargeQuery(t *testing.T) {
+	k := 14 // above the default DP threshold of 12
+	cat := chainCatalog(t, k, 60)
+	q := chainQuery(t, cat, k)
+	opt := New(cat, DefaultConfig())
+	p, err := opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Root.Aliases()); got != k {
+		t.Fatalf("plan covers %d relations, want %d", got, k)
+	}
+	res, err := executor.Run(p, cat, executor.Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the DP answer on a smaller threshold override to
+	// confirm correctness of the result itself.
+	cfg := DefaultConfig()
+	cfg.DPThreshold = 20
+	dpOpt := New(cat, cfg)
+	dp, err := dpOpt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpRes, err := executor.Run(dp, cat, executor.Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != dpRes.Count {
+		t.Errorf("randomized %d vs DP %d rows", res.Count, dpRes.Count)
+	}
+}
+
+func TestCrossProductFallback(t *testing.T) {
+	cat := chainCatalog(t, 2, 50)
+	q, err := sql.Parse("SELECT COUNT(*) FROM t01, t02", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := New(cat, DefaultConfig())
+	p, err := opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := executor.Run(p, cat, executor.Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 50*50 {
+		t.Errorf("cross product: %d rows", res.Count)
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	cat, err := ott.Generate(ott.Config{Seed: 4, RowsPerValue: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ott.Queries(cat, ott.QueryConfig{NumTables: 3, SameConstant: 2, Count: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+	for _, prof := range []*Profile{PostgresProfile(), SystemAProfile(), SystemBProfile()} {
+		cfg := DefaultConfig()
+		cfg.Profile = prof
+		opt := New(cat, cfg)
+		p, err := opt.Optimize(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if _, err := executor.Run(p, cat, executor.Options{CountOnly: true}); err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+	}
+}
+
+func TestSystemBLeafSampling(t *testing.T) {
+	cat, err := ott.Generate(ott.Config{Seed: 4, RowsPerValue: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := SystemBProfile()
+	if prof.LeafRows == nil {
+		t.Fatal("system B must define LeafRows")
+	}
+	rows, ok := prof.LeafRows(cat, "r1", "r1", []sql.Selection{{
+		Col: sql.ColRef{Table: "r1", Column: "a"}, Op: sql.OpEq, Value: rel.Int(0),
+	}})
+	if !ok {
+		t.Fatal("leaf sampling should engage when samples exist")
+	}
+	// True count is ~RowsPerValue (30); the scaled sample estimate must
+	// be in a sane band.
+	if rows < 5 || rows > 150 {
+		t.Errorf("sampled leaf estimate %v implausible", rows)
+	}
+}
+
+func TestGammaMerge(t *testing.T) {
+	g := NewGamma()
+	if g.Len() != 0 {
+		t.Error("new gamma not empty")
+	}
+	added := g.Merge(map[string]float64{"a": 1, "b": 2})
+	if added != 2 || g.Len() != 2 {
+		t.Errorf("merge: added=%d len=%d", added, g.Len())
+	}
+	added = g.Merge(map[string]float64{"b": 3, "c": 4})
+	if added != 1 {
+		t.Errorf("re-merge added=%d, want 1 (only c is new)", added)
+	}
+	if v, _ := g.Get("b"); v != 3 {
+		t.Errorf("merge should overwrite: %v", v)
+	}
+	if _, ok := g.Get("zzz"); ok {
+		t.Error("missing key reported present")
+	}
+	var nilG *Gamma
+	if nilG.Len() != 0 {
+		t.Error("nil gamma should have length 0")
+	}
+	if _, ok := nilG.Get("x"); ok {
+		t.Error("nil gamma lookup should miss")
+	}
+	if s := g.Snapshot(); !strings.Contains(s, "a=1") {
+		t.Errorf("snapshot: %s", s)
+	}
+}
+
+func TestNegativeGammaClamped(t *testing.T) {
+	g := NewGamma()
+	g.Set("x", -5)
+	if v, _ := g.Get("x"); v != 0 {
+		t.Errorf("negative cardinality should clamp to 0, got %v", v)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	cat := chainCatalog(t, 2, 10)
+	opt := New(cat, DefaultConfig())
+	if _, err := opt.Optimize(&sql.Query{}, nil); err == nil {
+		t.Error("empty FROM should error")
+	}
+}

@@ -1,0 +1,305 @@
+// Package plan defines physical query plans and the join-tree formalism
+// of the paper: tree(P) as a set of ordered logical joins (§3.1), the
+// bottom-up/left-to-right join-tree encoding (Appendix E), local vs
+// global transformations (Definitions 1 and 4), structural equivalence
+// (Definition 3), and plan coverage (Definition 2).
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+)
+
+// JoinKind identifies a physical join operator.
+type JoinKind uint8
+
+const (
+	// NestedLoop is a plain tuple-at-a-time nested-loop join.
+	NestedLoop JoinKind = iota
+	// IndexNestedLoop probes an index on the inner relation.
+	IndexNestedLoop
+	// HashJoin builds a hash table on the inner (right) input.
+	HashJoin
+	// MergeJoin sorts both inputs and merges.
+	MergeJoin
+)
+
+// String returns the operator's display name.
+func (k JoinKind) String() string {
+	switch k {
+	case NestedLoop:
+		return "NestLoop"
+	case IndexNestedLoop:
+		return "IndexNestLoop"
+	case HashJoin:
+		return "HashJoin"
+	case MergeJoin:
+		return "MergeJoin"
+	default:
+		return fmt.Sprintf("JoinKind(%d)", uint8(k))
+	}
+}
+
+// AccessKind identifies a base-table access path.
+type AccessKind uint8
+
+const (
+	// SeqScan reads the heap sequentially.
+	SeqScan AccessKind = iota
+	// IndexScan fetches rows through an index on one equality filter.
+	IndexScan
+)
+
+// String returns the access path's display name.
+func (k AccessKind) String() string {
+	if k == IndexScan {
+		return "IndexScan"
+	}
+	return "SeqScan"
+}
+
+// Node is one operator of a physical plan.
+type Node interface {
+	// Schema describes the node's output columns (aliased attribution).
+	Schema() *rel.Schema
+	// EstRows is the optimizer's cardinality estimate for the node.
+	EstRows() float64
+	// Cost is the estimated total cost of producing all output rows.
+	Cost() float64
+	// Aliases returns the base-relation aliases under the node, in
+	// left-to-right leaf order — the Appendix E encoding of the subtree.
+	Aliases() []string
+	// Fingerprint canonically identifies the physical subtree (operator
+	// kinds, join order, access paths, predicates).
+	Fingerprint() string
+}
+
+// ScanNode reads one base table, applying local filters.
+type ScanNode struct {
+	// Alias is the name the relation is visible under in the query.
+	Alias string
+	// Table is the catalog table name.
+	Table string
+	// Filters are the local predicates applied at the scan.
+	Filters []sql.Selection
+	// Access is the access path.
+	Access AccessKind
+	// IndexColumn is the indexed column driving an IndexScan; it must
+	// appear in Filters with OpEq.
+	IndexColumn string
+
+	// OutSchema is the aliased schema of the scan output.
+	OutSchema *rel.Schema
+	// Rows and CostVal are the optimizer's estimates.
+	Rows    float64
+	CostVal float64
+}
+
+// Schema implements Node.
+func (s *ScanNode) Schema() *rel.Schema { return s.OutSchema }
+
+// EstRows implements Node.
+func (s *ScanNode) EstRows() float64 { return s.Rows }
+
+// Cost implements Node.
+func (s *ScanNode) Cost() float64 { return s.CostVal }
+
+// Aliases implements Node.
+func (s *ScanNode) Aliases() []string { return []string{s.Alias} }
+
+// Fingerprint implements Node.
+func (s *ScanNode) Fingerprint() string {
+	var sb strings.Builder
+	sb.WriteString(s.Access.String())
+	sb.WriteByte('(')
+	sb.WriteString(s.Table)
+	if s.Alias != s.Table {
+		sb.WriteString(" AS ")
+		sb.WriteString(s.Alias)
+	}
+	if s.Access == IndexScan {
+		sb.WriteString(" USING ")
+		sb.WriteString(s.IndexColumn)
+	}
+	if len(s.Filters) > 0 {
+		preds := make([]string, len(s.Filters))
+		for i, f := range s.Filters {
+			preds[i] = f.String()
+		}
+		sort.Strings(preds)
+		sb.WriteString(" FILTER ")
+		sb.WriteString(strings.Join(preds, " AND "))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// JoinNode joins two inputs on equi-join predicates.
+type JoinNode struct {
+	// Kind is the physical join operator.
+	Kind JoinKind
+	// Left and Right are the outer and inner inputs respectively.
+	Left, Right Node
+	// Preds are the equi-join predicates connecting the two sides. For
+	// IndexNestedLoop, Preds[0] drives the index probe.
+	Preds []sql.JoinPred
+
+	// OutSchema is Left.Schema ++ Right.Schema.
+	OutSchema *rel.Schema
+	// Rows and CostVal are the optimizer's estimates.
+	Rows    float64
+	CostVal float64
+}
+
+// Schema implements Node.
+func (j *JoinNode) Schema() *rel.Schema { return j.OutSchema }
+
+// EstRows implements Node.
+func (j *JoinNode) EstRows() float64 { return j.Rows }
+
+// Cost implements Node.
+func (j *JoinNode) Cost() float64 { return j.CostVal }
+
+// Aliases implements Node.
+func (j *JoinNode) Aliases() []string {
+	return append(j.Left.Aliases(), j.Right.Aliases()...)
+}
+
+// Fingerprint implements Node.
+func (j *JoinNode) Fingerprint() string {
+	preds := make([]string, len(j.Preds))
+	for i, p := range j.Preds {
+		preds[i] = p.Canonical().String()
+	}
+	sort.Strings(preds)
+	return fmt.Sprintf("%s[%s](%s,%s)",
+		j.Kind, strings.Join(preds, " AND "),
+		j.Left.Fingerprint(), j.Right.Fingerprint())
+}
+
+// AggregateNode groups its input on GroupBy columns and emits one row
+// per group: the group key values followed by COUNT(*).
+type AggregateNode struct {
+	// GroupBy are the grouping columns (resolved against Child's schema).
+	GroupBy []sql.ColRef
+	// Child is the input.
+	Child Node
+
+	// OutSchema is the group columns followed by a "count" column.
+	OutSchema *rel.Schema
+	// Rows and CostVal are the optimizer's estimates.
+	Rows    float64
+	CostVal float64
+}
+
+// Schema implements Node.
+func (a *AggregateNode) Schema() *rel.Schema { return a.OutSchema }
+
+// EstRows implements Node.
+func (a *AggregateNode) EstRows() float64 { return a.Rows }
+
+// Cost implements Node.
+func (a *AggregateNode) Cost() float64 { return a.CostVal }
+
+// Aliases implements Node.
+func (a *AggregateNode) Aliases() []string { return a.Child.Aliases() }
+
+// Fingerprint implements Node.
+func (a *AggregateNode) Fingerprint() string {
+	cols := make([]string, len(a.GroupBy))
+	for i, c := range a.GroupBy {
+		cols[i] = c.String()
+	}
+	sort.Strings(cols)
+	return fmt.Sprintf("HashAggregate[%s](%s)", strings.Join(cols, ","), a.Child.Fingerprint())
+}
+
+// Plan is a complete physical plan for a query.
+type Plan struct {
+	// Root is the top operator (projection/count is applied by the
+	// executor according to Query).
+	Root Node
+	// Query is the logical query the plan answers.
+	Query *sql.Query
+}
+
+// Fingerprint identifies the physical plan; Algorithm 1's termination
+// test "Pi is the same as Pi-1" compares fingerprints, so a plan that
+// changed only a physical operator (a local transformation) still counts
+// as a new plan, as in the paper.
+func (p *Plan) Fingerprint() string { return p.Root.Fingerprint() }
+
+// Cost returns the root cost estimate.
+func (p *Plan) Cost() float64 { return p.Root.Cost() }
+
+// EstRows returns the root cardinality estimate.
+func (p *Plan) EstRows() float64 { return p.Root.EstRows() }
+
+// Explain renders the plan as an indented operator tree with estimates.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	explainNode(&sb, p.Root, 0)
+	return sb.String()
+}
+
+func explainNode(sb *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch t := n.(type) {
+	case *ScanNode:
+		fmt.Fprintf(sb, "%s%s on %s", indent, t.Access, t.Table)
+		if t.Alias != t.Table {
+			fmt.Fprintf(sb, " AS %s", t.Alias)
+		}
+		if t.Access == IndexScan {
+			fmt.Fprintf(sb, " (index on %s)", t.IndexColumn)
+		}
+		fmt.Fprintf(sb, "  (rows=%.1f cost=%.1f)", t.Rows, t.CostVal)
+		if len(t.Filters) > 0 {
+			parts := make([]string, len(t.Filters))
+			for i, f := range t.Filters {
+				parts[i] = f.String()
+			}
+			fmt.Fprintf(sb, "\n%s  Filter: %s", indent, strings.Join(parts, " AND "))
+		}
+		sb.WriteByte('\n')
+	case *JoinNode:
+		cond := "(cross)"
+		if len(t.Preds) > 0 {
+			parts := make([]string, len(t.Preds))
+			for i, pr := range t.Preds {
+				parts[i] = pr.String()
+			}
+			cond = "on " + strings.Join(parts, " AND ")
+		}
+		fmt.Fprintf(sb, "%s%s %s  (rows=%.1f cost=%.1f)\n",
+			indent, t.Kind, cond, t.Rows, t.CostVal)
+		explainNode(sb, t.Left, depth+1)
+		explainNode(sb, t.Right, depth+1)
+	case *AggregateNode:
+		cols := make([]string, len(t.GroupBy))
+		for i, c := range t.GroupBy {
+			cols[i] = c.String()
+		}
+		fmt.Fprintf(sb, "%sHashAggregate by %s  (rows=%.1f cost=%.1f)\n",
+			indent, strings.Join(cols, ", "), t.Rows, t.CostVal)
+		explainNode(sb, t.Child, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s?unknown node\n", indent)
+	}
+}
+
+// Walk visits every node of the subtree rooted at n in pre-order.
+func Walk(n Node, visit func(Node)) {
+	visit(n)
+	switch t := n.(type) {
+	case *JoinNode:
+		Walk(t.Left, visit)
+		Walk(t.Right, visit)
+	case *AggregateNode:
+		Walk(t.Child, visit)
+	}
+}

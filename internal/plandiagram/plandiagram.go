@@ -1,0 +1,157 @@
+// Package plandiagram implements plan diagrams (Reddy and Haritsa,
+// VLDB 2005 — the paper's [33]): a grid over a two-dimensional
+// selectivity space where each cell records which plan the optimizer
+// picks. The paper invokes plan diagrams in §5.2.3 to explain why
+// re-optimization sometimes cannot help — "the plan diagram is
+// dominated by just a couple of query plans", so even large estimation
+// errors often leave the optimizer inside the right plan's region.
+package plandiagram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/sql"
+)
+
+// Diagram is the plan choice over a resolution x resolution selectivity
+// grid. Cell (i, j) covers the i-th step of the first knob and the j-th
+// of the second.
+type Diagram struct {
+	Resolution int
+	// Cells[i][j] indexes into Plans.
+	Cells [][]int
+	// Plans are the distinct plan fingerprints, in first-seen order.
+	Plans []string
+	// Explains holds one EXPLAIN rendering per distinct plan.
+	Explains []string
+}
+
+// Generate builds the diagram: mk maps grid coordinates (0-based, up to
+// resolution-1 on each axis) to a query instance; each instance is
+// optimized and the plan fingerprint recorded.
+func Generate(opt *optimizer.Optimizer, mk func(i, j int) (*sql.Query, error), resolution int) (*Diagram, error) {
+	if resolution < 1 {
+		return nil, fmt.Errorf("plandiagram: resolution must be positive")
+	}
+	d := &Diagram{Resolution: resolution}
+	index := map[string]int{}
+	for i := 0; i < resolution; i++ {
+		row := make([]int, resolution)
+		for j := 0; j < resolution; j++ {
+			q, err := mk(i, j)
+			if err != nil {
+				return nil, fmt.Errorf("plandiagram: cell (%d,%d): %w", i, j, err)
+			}
+			p, err := opt.Optimize(q, nil)
+			if err != nil {
+				return nil, fmt.Errorf("plandiagram: cell (%d,%d): %w", i, j, err)
+			}
+			fp := structuralSignature(p.Root)
+			id, ok := index[fp]
+			if !ok {
+				id = len(d.Plans)
+				index[fp] = id
+				d.Plans = append(d.Plans, fp)
+				d.Explains = append(d.Explains, p.Explain())
+			}
+			row[j] = id
+		}
+		d.Cells = append(d.Cells, row)
+	}
+	return d, nil
+}
+
+// NumPlans returns the number of distinct plans in the diagram.
+func (d *Diagram) NumPlans() int { return len(d.Plans) }
+
+// Coverage returns, per plan, the fraction of grid cells it governs,
+// in plan-index order.
+func (d *Diagram) Coverage() []float64 {
+	counts := make([]int, len(d.Plans))
+	for _, row := range d.Cells {
+		for _, id := range row {
+			counts[id]++
+		}
+	}
+	total := float64(d.Resolution * d.Resolution)
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = float64(c) / total
+	}
+	return out
+}
+
+// TopCoverage returns the combined cell fraction of the k most-covering
+// plans — the "dominated by just a couple of query plans" measure.
+func (d *Diagram) TopCoverage(k int) float64 {
+	cov := d.Coverage()
+	// Selection sort of the top k (plans counts are tiny).
+	total := 0.0
+	for n := 0; n < k && n < len(cov); n++ {
+		best := -1
+		for i, c := range cov {
+			if c >= 0 && (best < 0 || c > cov[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		total += cov[best]
+		cov[best] = -1
+	}
+	return total
+}
+
+// Render draws the grid as ASCII art, one letter per plan.
+func (d *Diagram) Render() string {
+	var sb strings.Builder
+	for i := len(d.Cells) - 1; i >= 0; i-- { // origin bottom-left
+		for _, id := range d.Cells[i] {
+			sb.WriteByte(planLetter(id))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%d distinct plan(s); top-2 coverage %.1f%%\n",
+		d.NumPlans(), 100*d.TopCoverage(2))
+	return sb.String()
+}
+
+// structuralSignature identifies a plan by its structure — operators,
+// join order, access paths, and which columns are filtered — but not by
+// the literal constants, which vary across the grid by construction.
+// This matches plan-diagram methodology: two cells share a plan when
+// the optimizer picks the same strategy, not the same query.
+func structuralSignature(n plan.Node) string {
+	switch t := n.(type) {
+	case *plan.ScanNode:
+		cols := make([]string, len(t.Filters))
+		for i, f := range t.Filters {
+			cols[i] = f.Col.String() + f.Op.String()
+		}
+		sort.Strings(cols)
+		return fmt.Sprintf("%s(%s|%s|%s)", t.Access, t.Table, t.IndexColumn, strings.Join(cols, ","))
+	case *plan.JoinNode:
+		preds := make([]string, len(t.Preds))
+		for i, p := range t.Preds {
+			preds[i] = p.Canonical().String()
+		}
+		sort.Strings(preds)
+		return fmt.Sprintf("%s[%s](%s,%s)", t.Kind, strings.Join(preds, ","),
+			structuralSignature(t.Left), structuralSignature(t.Right))
+	default:
+		return "?"
+	}
+}
+
+func planLetter(id int) byte {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+	if id < len(letters) {
+		return letters[id]
+	}
+	return '#'
+}

@@ -1,0 +1,82 @@
+package plandiagram
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"reopt/internal/optimizer"
+	"reopt/internal/sql"
+	"reopt/internal/workload/tpch"
+)
+
+func diagramSetup(t *testing.T, res int) *Diagram {
+	t.Helper()
+	cat, err := tpch.Generate(tpch.Config{Customers: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	// Two knobs: order date cutoff and ship date cutoff sweep the
+	// selectivities of the two big relations of an orders ⋈ lineitem join.
+	mk := func(i, j int) (*sql.Query, error) {
+		od := (i + 1) * 2556 / (res + 1)
+		sd := (j + 1) * 2556 / (res + 1)
+		return sql.Parse(fmt.Sprintf(
+			`SELECT COUNT(*) FROM orders, lineitem
+			 WHERE l_orderkey = o_orderkey AND o_orderdate <= %d AND l_shipdate <= %d`,
+			od, sd), cat)
+	}
+	d, err := Generate(opt, mk, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiagramShape(t *testing.T) {
+	d := diagramSetup(t, 8)
+	if d.Resolution != 8 || len(d.Cells) != 8 || len(d.Cells[0]) != 8 {
+		t.Fatalf("grid shape wrong: %dx%d", len(d.Cells), len(d.Cells[0]))
+	}
+	if d.NumPlans() < 1 {
+		t.Fatal("no plans recorded")
+	}
+	cov := d.Coverage()
+	sum := 0.0
+	for _, c := range cov {
+		sum += c
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("coverage sums to %v", sum)
+	}
+}
+
+// TestDominatedByFewPlans verifies the [33] phenomenon the paper cites:
+// a couple of plans govern almost the whole selectivity space.
+func TestDominatedByFewPlans(t *testing.T) {
+	d := diagramSetup(t, 10)
+	if top2 := d.TopCoverage(2); top2 < 0.5 {
+		t.Errorf("top-2 coverage %.2f; expected a dominated diagram", top2)
+	}
+	if d.TopCoverage(d.NumPlans()) < 0.999 {
+		t.Error("full coverage should be ~1")
+	}
+}
+
+func TestRender(t *testing.T) {
+	d := diagramSetup(t, 4)
+	out := d.Render()
+	if !strings.Contains(out, "distinct plan") {
+		t.Errorf("render: %s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 { // 4 rows + summary
+		t.Errorf("render lines: %d", lines)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(nil, nil, 0); err == nil {
+		t.Error("resolution 0 should error")
+	}
+}

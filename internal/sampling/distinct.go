@@ -1,0 +1,89 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"reopt/internal/catalog"
+	"reopt/internal/rel"
+)
+
+// EstimateDistinct implements the GEE (Guaranteed-Error Estimator) of
+// Charikar, Chaudhuri, Motwani and Narasayya — the paper's [10], cited
+// in §2 as the sampling route to estimating the number of distinct
+// values for aggregate ("GROUP BY") cardinalities:
+//
+//	D̂ = √(1/q)·f₁ + Σ_{j≥2} f_j
+//
+// where q is the sampling fraction and f_j is the number of values seen
+// exactly j times in the sample. GEE matches the √(1/q) lower bound on
+// the error ratio of any sampling-based distinct estimator.
+func EstimateDistinct(sample []rel.Value, q float64) (float64, error) {
+	if q <= 0 || q > 1 {
+		return 0, fmt.Errorf("sampling: fraction %v out of (0,1]", q)
+	}
+	counts := make(map[rel.ValueKey]int)
+	for _, v := range sample {
+		if v.IsNull() {
+			continue
+		}
+		counts[v.Key()]++
+	}
+	f1 := 0
+	rest := 0
+	for _, c := range counts {
+		if c == 1 {
+			f1++
+		} else {
+			rest++
+		}
+	}
+	return math.Sqrt(1/q)*float64(f1) + float64(rest), nil
+}
+
+// EstimateColumnDistinct applies GEE to a catalog table's sample for one
+// column, returning the estimated number of distinct values in the full
+// table.
+func EstimateColumnDistinct(cat *catalog.Catalog, table, column string) (float64, error) {
+	s, err := cat.Sample(table)
+	if err != nil {
+		return 0, err
+	}
+	base, err := cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	pos, err := s.Schema().IndexOf("", column)
+	if err != nil {
+		return 0, err
+	}
+	if base.NumRows() == 0 || s.NumRows() == 0 {
+		return 0, nil
+	}
+	q := float64(s.NumRows()) / float64(base.NumRows())
+	vals := make([]rel.Value, 0, s.NumRows())
+	for _, row := range s.Rows() {
+		vals = append(vals, row[pos])
+	}
+	return EstimateDistinct(vals, q)
+}
+
+// EstimateGroupByCardinality estimates the output cardinality of
+// grouping the given table by one column — the distinct count capped by
+// the row count. This is the §2 future-work integration point: a
+// re-optimizer could validate aggregate cardinalities the same way it
+// validates joins.
+func EstimateGroupByCardinality(cat *catalog.Catalog, table, column string) (float64, error) {
+	d, err := EstimateColumnDistinct(cat, table, column)
+	if err != nil {
+		return 0, err
+	}
+	base, err := cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	if n := float64(base.NumRows()); d > n {
+		return n, nil
+	}
+	return d, nil
+}

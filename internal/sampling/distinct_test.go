@@ -1,0 +1,113 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/rel"
+	"reopt/internal/stats"
+	"reopt/internal/storage"
+	"reopt/internal/workload/datagen"
+)
+
+func distinctCatalog(t *testing.T, gen func(i int) int64, rows int) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	tab := storage.NewTable("d", rel.NewSchema(rel.Column{Name: "x", Kind: rel.KindInt}))
+	for i := 0; i < rows; i++ {
+		tab.MustAppend(rel.Row{rel.Int(gen(i))})
+	}
+	cat.MustAddTable(tab)
+	if err := cat.AnalyzeAll(stats.AnalyzeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cat.SetSampleRatio(0.1)
+	cat.BuildSamples(7)
+	return cat
+}
+
+func TestGEEOnUniformData(t *testing.T) {
+	// 200 distinct values, 100 rows each: every value should appear in
+	// a 10% sample many times, so GEE ≈ exact.
+	cat := distinctCatalog(t, func(i int) int64 { return int64(i % 200) }, 20000)
+	d, err := EstimateColumnDistinct(cat, "d", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-200)/200 > 0.1 {
+		t.Errorf("distinct estimate %v, want ~200", d)
+	}
+}
+
+func TestGEEOnMostlyUniqueData(t *testing.T) {
+	// All rows distinct: the sample sees singletons only; GEE scales f1
+	// by sqrt(1/q) — underestimates (its guarantee is the error *ratio*,
+	// bounded by sqrt(1/q)).
+	rows := 20000
+	cat := distinctCatalog(t, func(i int) int64 { return int64(i) }, rows)
+	d, err := EstimateColumnDistinct(cat, "d", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 0.1
+	lower := float64(rows) * q // sample size, trivial floor
+	upper := float64(rows)
+	if d < lower || d > upper {
+		t.Errorf("distinct estimate %v outside [%v, %v]", d, lower, upper)
+	}
+	// Ratio guarantee: within sqrt(1/q) of the truth.
+	ratio := float64(rows) / d
+	if ratio > math.Sqrt(1/q)*1.2 {
+		t.Errorf("error ratio %v exceeds GEE bound %v", ratio, math.Sqrt(1/q))
+	}
+}
+
+func TestGEEOnSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := datagen.NewZipf(rng, 500, 1)
+	truth := map[int64]bool{}
+	vals := make([]int64, 30000)
+	for i := range vals {
+		vals[i] = z.Next()
+		truth[vals[i]] = true
+	}
+	cat := distinctCatalog(t, func(i int) int64 { return vals[i] }, len(vals))
+	d, err := EstimateColumnDistinct(cat, "d", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(len(truth))
+	ratio := math.Max(d/want, want/d)
+	if ratio > math.Sqrt(10)*1.2 {
+		t.Errorf("skewed estimate %v vs true %v: ratio %v beyond GEE bound", d, want, ratio)
+	}
+}
+
+func TestEstimateDistinctValidation(t *testing.T) {
+	if _, err := EstimateDistinct(nil, 0); err == nil {
+		t.Error("q=0 should error")
+	}
+	if _, err := EstimateDistinct(nil, 1.5); err == nil {
+		t.Error("q>1 should error")
+	}
+	d, err := EstimateDistinct([]rel.Value{rel.Null, rel.Null}, 0.5)
+	if err != nil || d != 0 {
+		t.Errorf("all-null sample: %v, %v", d, err)
+	}
+}
+
+func TestGroupByCardinalityCapped(t *testing.T) {
+	cat := distinctCatalog(t, func(i int) int64 { return int64(i) }, 500)
+	g, err := EstimateGroupByCardinality(cat, "d", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g > 500 {
+		t.Errorf("group-by cardinality %v exceeds row count", g)
+	}
+	if _, err := EstimateGroupByCardinality(cat, "nope", "x"); err == nil {
+		t.Error("unknown table should error")
+	}
+}

@@ -1,0 +1,158 @@
+// Package sampling implements the sampling-based cardinality estimator
+// of Haas et al. [20] as used by the paper (§2.1): per-table Bernoulli
+// samples are joined with the same join skeleton as the plan under
+// validation, and the observed sample cardinalities are scaled by the
+// inverse sampling fractions. One execution of the skeleton yields the
+// estimate for *every* join subtree of the plan at once — the Δ of
+// Algorithm 1 (GetCardinalityEstimatesBySampling).
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"reopt/internal/catalog"
+	"reopt/internal/executor"
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+)
+
+// Estimate is the Δ produced by validating one plan over the samples.
+type Estimate struct {
+	// Delta maps canonical relation-set keys (singletons included: leaf
+	// selections are validated too) to estimated full-table cardinality.
+	Delta map[string]float64
+	// SampleRows records the raw per-key sample counts, for diagnostics
+	// and for confidence weighting.
+	SampleRows map[string]int64
+	// Duration is the wall-clock time spent running the skeleton over
+	// the samples — the re-optimization overhead the paper measures in
+	// Figures 6, 9, 17 and 18.
+	Duration time.Duration
+}
+
+// EstimatePlan validates p's join skeleton over the catalog's samples.
+// The skeleton keeps the plan's join tree and all predicates but swaps
+// every physical choice for sample-friendly ones (sequential scans and
+// hash joins); physical choice does not affect cardinality, and samples
+// carry no indexes.
+func EstimatePlan(p *plan.Plan, cat *catalog.Catalog) (*Estimate, error) {
+	if !cat.HasSamples() {
+		return nil, fmt.Errorf("sampling: catalog has no samples (call BuildSamples)")
+	}
+	start := time.Now()
+	skeleton := rewrite(p.Root)
+	sp := &plan.Plan{Root: skeleton, Query: p.Query}
+	res, err := executor.Run(sp, cat, executor.Options{
+		CountOnly: true,
+		Binder:    cat.Sample,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sampling: skeleton run: %w", err)
+	}
+
+	est := &Estimate{
+		Delta:      make(map[string]float64),
+		SampleRows: make(map[string]int64),
+	}
+	// Per-alias scale factors |R| / |R^s|.
+	scale := make(map[string]float64)
+	for _, tr := range p.Query.Tables {
+		base, err := cat.Table(tr.Name)
+		if err != nil {
+			return nil, err
+		}
+		s, err := cat.Sample(tr.Name)
+		if err != nil {
+			return nil, err
+		}
+		sn := s.NumRows()
+		if sn == 0 {
+			// Degenerate sample: fall back to the nominal ratio so the
+			// estimator stays defined (the estimate for sets touching
+			// this table will be 0 anyway, since the sample is empty).
+			scale[tr.Alias] = 1 / cat.SampleRatio()
+			continue
+		}
+		scale[tr.Alias] = float64(base.NumRows()) / float64(sn)
+	}
+
+	plan.Walk(skeleton, func(n plan.Node) {
+		aliases := n.Aliases()
+		key := optimizer.GammaKeyFor(aliases)
+		count := res.NodeRows[n]
+		scaleProd := 1.0
+		for _, a := range aliases {
+			scaleProd *= scale[a]
+		}
+		f := float64(count) * scaleProd
+		// Resolution-limit floor: a sample that observed zero rows for a
+		// set cannot certify a cardinality below ~half of what one
+		// sample row represents. Without the floor, one unlucky sample
+		// (probability (1-ratio)^|σ(R)| per leaf) writes a hard zero
+		// into Γ, every plan built on that set estimates as free, and
+		// the optimizer can converge to a catastrophic plan — the
+		// uncertainty concern the paper raises in §7. Non-zero counts
+		// are unaffected (count·scale ≥ scale > floor).
+		if count == 0 {
+			f = 0.5 * scaleProd
+		}
+		est.Delta[key] = f
+		est.SampleRows[key] = count
+	})
+	est.Duration = time.Since(start)
+	return est, nil
+}
+
+// rewrite converts a physical plan into its sample-execution skeleton.
+// Aggregates are stripped: only join cardinalities are validated (§2 —
+// extending validation to GROUP BY outputs via distinct-value estimation
+// is the paper's future work; see EstimateGroupByCardinality).
+func rewrite(n plan.Node) plan.Node {
+	switch t := n.(type) {
+	case *plan.ScanNode:
+		c := *t
+		c.Access = plan.SeqScan
+		c.IndexColumn = ""
+		return &c
+	case *plan.JoinNode:
+		c := *t
+		c.Kind = plan.HashJoin
+		c.Left = rewrite(t.Left)
+		c.Right = rewrite(t.Right)
+		return &c
+	case *plan.AggregateNode:
+		return rewrite(t.Child)
+	default:
+		return n
+	}
+}
+
+// RelStdErr returns the approximate relative standard error of the
+// estimate for key: the Haas et al. estimator's error shrinks like
+// 1/√k in the number k of sample rows observed for the set, so with k
+// observations the relative standard error is ≈ 1/√k; sets the sample
+// never witnessed report 1 (total uncertainty). This quantifies the
+// §7 future-work point on uncertainty-aware estimates ([41]).
+func (e *Estimate) RelStdErr(key string) float64 {
+	k := e.SampleRows[key]
+	if k <= 0 {
+		return 1
+	}
+	return 1 / math.Sqrt(float64(k))
+}
+
+// ConfidenceWeight returns a weight in (0,1] expressing how much trust a
+// sampled estimate deserves given the raw number of sample rows observed
+// for the set: with k observed rows the relative standard error of the
+// Haas et al. estimator shrinks like 1/sqrt(k), so the weight k/(k+c)
+// approaches 1 for well-observed sets and stays low when the sample
+// barely witnessed the set. Used by the conservative blending extension
+// (§7 future work: "consider the uncertainty of the cardinality
+// estimates returned by sampling").
+func ConfidenceWeight(sampleRows int64) float64 {
+	const c = 4
+	k := float64(sampleRows)
+	return (k + 1) / (k + 1 + c)
+}

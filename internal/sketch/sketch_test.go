@@ -1,0 +1,186 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+	"reopt/internal/storage"
+)
+
+func tableWith(vals []int64) *storage.Table {
+	t := storage.NewTable("t", rel.NewSchema(
+		rel.Column{Name: "a", Kind: rel.KindInt},
+		rel.Column{Name: "b", Kind: rel.KindInt},
+	))
+	for _, v := range vals {
+		t.MustAppend(rel.Row{rel.Int(v), rel.Int(v)})
+	}
+	return t
+}
+
+func trueJoinSize(a, b []int64) float64 {
+	counts := map[int64]int{}
+	for _, v := range a {
+		counts[v]++
+	}
+	total := 0
+	for _, v := range b {
+		total += counts[v]
+	}
+	return float64(total)
+}
+
+func TestJoinSizeUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, b []int64
+	for i := 0; i < 20000; i++ {
+		a = append(a, rng.Int63n(100))
+		b = append(b, rng.Int63n(100))
+	}
+	sa, err := New(7, 512, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := New(7, 512, 9)
+	for _, v := range a {
+		sa.Add(rel.Int(v))
+	}
+	for _, v := range b {
+		sb.Add(rel.Int(v))
+	}
+	got, err := JoinSize(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueJoinSize(a, b)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("join size %v, want within 10%% of %v", got, want)
+	}
+}
+
+func TestJoinSizeSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b []int64
+	for i := 0; i < 20000; i++ {
+		// Heavy hitter at 0.
+		if rng.Intn(3) == 0 {
+			a = append(a, 0)
+		} else {
+			a = append(a, rng.Int63n(1000))
+		}
+		b = append(b, rng.Int63n(1000))
+	}
+	sa, _ := New(7, 1024, 3)
+	sb, _ := New(7, 1024, 3)
+	for _, v := range a {
+		sa.Add(rel.Int(v))
+	}
+	for _, v := range b {
+		sb.Add(rel.Int(v))
+	}
+	got, err := JoinSize(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trueJoinSize(a, b)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("skewed join size %v, want within 15%% of %v", got, want)
+	}
+}
+
+// TestFilteredSketchSeesCorrelation is the OTT scenario: sketches built
+// over σ(A=c)(R) capture that the join column B=A is constant, so the
+// empty combination estimates near zero while the matching one is huge —
+// unlike the histogram+AVI estimate, which cannot tell them apart.
+func TestFilteredSketchSeesCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func() *storage.Table {
+		var vals []int64
+		for i := 0; i < 5000; i++ {
+			vals = append(vals, rng.Int63n(50))
+		}
+		return tableWith(vals)
+	}
+	r1, r2 := mk(), mk()
+	filt := func(c int64) []sql.Selection {
+		return []sql.Selection{{Col: sql.ColRef{Column: "a"}, Op: sql.OpEq, Value: rel.Int(c)}}
+	}
+	s10, err := SketchColumn(r1, "b", filt(0), 7, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s20, err := SketchColumn(r2, "b", filt(0), 7, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s21, err := SketchColumn(r2, "b", filt(1), 7, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := JoinSize(s10, s20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := JoinSize(s10, s21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// match should be ~100*100 = 10000; empty ~0.
+	if match < 1000 {
+		t.Errorf("matching-constant estimate %v too small", match)
+	}
+	if math.Abs(empty) > match/10 {
+		t.Errorf("empty-combination estimate %v should be near zero (match %v)", empty, match)
+	}
+}
+
+func TestSelfJoinSize(t *testing.T) {
+	s, _ := New(7, 512, 5)
+	// 100 values x 10 copies: F2 = 100 * 10^2 = 10000.
+	for v := int64(0); v < 100; v++ {
+		for c := 0; c < 10; c++ {
+			s.Add(rel.Int(v))
+		}
+	}
+	got := s.SelfJoinSize()
+	if math.Abs(got-10000)/10000 > 0.2 {
+		t.Errorf("F2 estimate %v, want ~10000", got)
+	}
+}
+
+func TestSketchValidation(t *testing.T) {
+	if _, err := New(0, 10, 1); err == nil {
+		t.Error("zero depth should error")
+	}
+	a, _ := New(3, 64, 1)
+	b, _ := New(3, 128, 1)
+	if _, err := JoinSize(a, b); err == nil {
+		t.Error("incompatible widths should error")
+	}
+	c, _ := New(3, 64, 2)
+	if _, err := JoinSize(a, c); err == nil {
+		t.Error("different seeds should error")
+	}
+}
+
+func TestNullsIgnored(t *testing.T) {
+	s, _ := New(3, 64, 1)
+	s.Add(rel.Null)
+	if got := s.SelfJoinSize(); got != 0 {
+		t.Errorf("NULL contributed to sketch: %v", got)
+	}
+}
+
+func TestSketchColumnErrors(t *testing.T) {
+	tab := tableWith([]int64{1, 2, 3})
+	if _, err := SketchColumn(tab, "nope", nil, 3, 64, 1); err == nil {
+		t.Error("unknown column should error")
+	}
+	bad := []sql.Selection{{Col: sql.ColRef{Column: "zzz"}, Op: sql.OpEq, Value: rel.Int(1)}}
+	if _, err := SketchColumn(tab, "b", bad, 3, 64, 1); err == nil {
+		t.Error("unknown filter column should error")
+	}
+}

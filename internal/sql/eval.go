@@ -1,0 +1,29 @@
+package sql
+
+import "reopt/internal/rel"
+
+// EvalSelection applies a local predicate to a value under SQL
+// three-valued semantics collapsed to boolean (NULL never matches).
+func EvalSelection(v rel.Value, f Selection) bool {
+	if v.IsNull() {
+		return false
+	}
+	switch f.Op {
+	case OpEq:
+		return v.Equal(f.Value)
+	case OpNe:
+		return !v.Equal(f.Value)
+	case OpLt:
+		return v.Compare(f.Value) < 0
+	case OpLe:
+		return v.Compare(f.Value) <= 0
+	case OpGt:
+		return v.Compare(f.Value) > 0
+	case OpGe:
+		return v.Compare(f.Value) >= 0
+	case OpBetween:
+		return v.Compare(f.Value) >= 0 && v.Compare(f.Value2) <= 0
+	default:
+		return false
+	}
+}

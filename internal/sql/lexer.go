@@ -1,0 +1,140 @@
+// Package sql implements the SQL front end for the select-project-join
+// dialect used by the paper's workloads: SELECT lists, FROM lists with
+// aliases, and WHERE clauses that AND together local predicates
+// (=, <>, <, <=, >, >=, BETWEEN) and equi-join predicates. The output is
+// a resolved Query — the logical form the optimizer consumes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // SELECT, FROM, WHERE, AND, AS, BETWEEN, ...
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"AS": true, "BETWEEN": true, "COUNT": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
+	"ASC": true, "DESC": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) error(pos int, format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	ch := l.src[l.pos]
+	switch {
+	case isIdentStart(ch):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	case ch >= '0' && ch <= '9' || ch == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		if ch == '-' {
+			l.pos++
+		}
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case ch == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.error(start, "unterminated string literal")
+			}
+			c := l.src[l.pos]
+			if c == '\'' {
+				// '' escapes a quote, SQL style.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(c)
+			l.pos++
+		}
+	default:
+		// Multi-byte operators first.
+		for _, op := range []string{"<>", "<=", ">=", "!="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return token{kind: tokSymbol, text: op, pos: start}, nil
+			}
+		}
+		switch ch {
+		case ',', '.', '*', '(', ')', '=', '<', '>', ';':
+			l.pos++
+			return token{kind: tokSymbol, text: string(ch), pos: start}, nil
+		}
+		return token{}, l.error(start, "unexpected character %q", ch)
+	}
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z'
+}
+
+func isIdentPart(ch byte) bool {
+	return isIdentStart(ch) || ch >= '0' && ch <= '9'
+}
+
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/rel"
+	"reopt/internal/storage"
+)
+
+// TestRandomQueryRoundTrip is a property test over the parser: random
+// queries rendered with Query.String() must reparse to an identical
+// fingerprint, with GROUP BY / ORDER BY / LIMIT clauses preserved.
+func TestRandomQueryRoundTrip(t *testing.T) {
+	cat := catalog.New()
+	for i := 0; i < 4; i++ {
+		tab := storage.NewTable(fmt.Sprintf("rt%d", i), rel.NewSchema(
+			rel.Column{Name: "a", Kind: rel.KindInt},
+			rel.Column{Name: "b", Kind: rel.KindInt},
+			rel.Column{Name: "s", Kind: rel.KindString},
+		))
+		tab.MustAppend(rel.Row{rel.Int(1), rel.Int(2), rel.String_("x")})
+		cat.MustAddTable(tab)
+	}
+	rng := rand.New(rand.NewSource(61))
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		text := "SELECT COUNT(*) FROM "
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				text += ", "
+			}
+			text += fmt.Sprintf("rt%d AS q%d", i, i)
+		}
+		var preds []string
+		for i := 1; i < n; i++ {
+			preds = append(preds, fmt.Sprintf("q%d.a = q%d.a", i-1, i))
+		}
+		for s := 0; s < rng.Intn(3); s++ {
+			alias := fmt.Sprintf("q%d", rng.Intn(n))
+			switch rng.Intn(3) {
+			case 0:
+				preds = append(preds, fmt.Sprintf("%s.b %s %d",
+					alias, ops[rng.Intn(len(ops))], rng.Intn(100)-50))
+			case 1:
+				lo := rng.Intn(50)
+				preds = append(preds, fmt.Sprintf("%s.b BETWEEN %d AND %d",
+					alias, lo, lo+rng.Intn(50)))
+			default:
+				preds = append(preds, fmt.Sprintf("%s.s = 'v%d'", alias, rng.Intn(5)))
+			}
+		}
+		if len(preds) > 0 {
+			text += " WHERE " + preds[0]
+			for _, p := range preds[1:] {
+				text += " AND " + p
+			}
+		}
+		if rng.Intn(3) == 0 {
+			text += fmt.Sprintf(" GROUP BY q0.b")
+		}
+		if rng.Intn(3) == 0 {
+			text += " ORDER BY q0.b DESC"
+		}
+		if rng.Intn(3) == 0 {
+			text += fmt.Sprintf(" LIMIT %d", rng.Intn(10)+1)
+		}
+		q, err := Parse(text, cat)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, text)
+		}
+		q2, err := Parse(q.String(), cat)
+		if err != nil {
+			t.Fatalf("trial %d reparse: %v\n%s", trial, err, q.String())
+		}
+		if q.Fingerprint() != q2.Fingerprint() {
+			t.Fatalf("trial %d fingerprint drift:\n%s\n%s", trial, q, q2)
+		}
+		if len(q.GroupBy) != len(q2.GroupBy) || len(q.OrderBy) != len(q2.OrderBy) || q.Limit != q2.Limit {
+			t.Fatalf("trial %d clause drift:\n%s\n%s", trial, q, q2)
+		}
+	}
+}

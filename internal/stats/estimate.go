@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"reopt/internal/rel"
+)
+
+// SelEquals estimates the selectivity of column = v following
+// PostgreSQL's eqsel: an MCV hit returns the recorded (exact) frequency;
+// a miss assumes the remaining mass is spread uniformly over the non-MCV
+// distinct values (§4.2.1 of the paper).
+func (cs *ColumnStats) SelEquals(v rel.Value) float64 {
+	if cs.NumRows == 0 || cs.NumDistinct == 0 {
+		return 0
+	}
+	if v.IsNull() {
+		return 0 // predicate "= NULL" selects nothing
+	}
+	if f, ok := cs.MCVFreq(v); ok {
+		return f
+	}
+	restDistinct := cs.NumDistinct - len(cs.MCV)
+	if restDistinct <= 0 {
+		// Every distinct value is an MCV, and v is not among them: the
+		// value does not occur. PostgreSQL still hedges with a tiny
+		// non-zero estimate; we return the uniform share of one row.
+		return clampSel(1 / float64(cs.NumRows))
+	}
+	restMass := 1 - cs.mcvFreqSum - cs.NullFrac
+	if restMass < 0 {
+		restMass = 0
+	}
+	return clampSel(restMass / float64(restDistinct))
+}
+
+// SelNotEquals estimates column <> v.
+func (cs *ColumnStats) SelNotEquals(v rel.Value) float64 {
+	return clampSel(1 - cs.NullFrac - cs.SelEquals(v))
+}
+
+// SelRange estimates lo <= column <= hi using the MCV list exactly and
+// linear interpolation within histogram buckets for the rest
+// (scalarltsel-style).
+func (cs *ColumnStats) SelRange(lo, hi rel.Value) float64 {
+	if cs.NumRows == 0 {
+		return 0
+	}
+	if lo.Compare(hi) > 0 {
+		return 0
+	}
+	sel := 0.0
+	for _, e := range cs.MCV {
+		if e.Value.Compare(lo) >= 0 && e.Value.Compare(hi) <= 0 {
+			sel += e.Freq
+		}
+	}
+	if cs.Hist != nil {
+		sel += cs.Hist.rangeFrac(lo, hi) * cs.Hist.TotalFrac
+	}
+	return clampSel(sel)
+}
+
+// SelLess estimates column <= v.
+func (cs *ColumnStats) SelLess(v rel.Value) float64 {
+	if cs.NumRows == 0 {
+		return 0
+	}
+	sel := 0.0
+	for _, e := range cs.MCV {
+		if e.Value.Compare(v) <= 0 {
+			sel += e.Freq
+		}
+	}
+	if cs.Hist != nil {
+		sel += cs.Hist.lessFrac(v) * cs.Hist.TotalFrac
+	}
+	return clampSel(sel)
+}
+
+// SelGreater estimates column >= v.
+func (cs *ColumnStats) SelGreater(v rel.Value) float64 {
+	return clampSel(1 - cs.NullFrac - cs.SelLess(v) + cs.SelEquals(v))
+}
+
+// rangeFrac returns the fraction of histogram-covered values falling in
+// [lo, hi], interpolating linearly inside buckets.
+func (h *Histogram) rangeFrac(lo, hi rel.Value) float64 {
+	return h.lessFrac(hi) - h.lessFrac(lo) + h.pointFrac(lo)
+}
+
+// lessFrac returns the fraction of histogram-covered values <= v.
+func (h *Histogram) lessFrac(v rel.Value) float64 {
+	n := h.NumBuckets()
+	if n == 0 {
+		return 0
+	}
+	if v.Compare(h.Bounds[0]) < 0 {
+		return 0
+	}
+	if v.Compare(h.Bounds[n]) >= 0 {
+		return 1
+	}
+	frac := 0.0
+	for b := 0; b < n; b++ {
+		lo, hi := h.Bounds[b], h.Bounds[b+1]
+		if v.Compare(hi) >= 0 {
+			frac += 1 / float64(n)
+			continue
+		}
+		// v falls inside bucket b: interpolate.
+		frac += h.within(lo, hi, v) / float64(n)
+		break
+	}
+	return frac
+}
+
+// pointFrac approximates the fraction of covered values equal to v: one
+// bucket's mass spread over its width.
+func (h *Histogram) pointFrac(v rel.Value) float64 {
+	n := h.NumBuckets()
+	if n == 0 {
+		return 0
+	}
+	for b := 0; b < n; b++ {
+		lo, hi := h.Bounds[b], h.Bounds[b+1]
+		if v.Compare(lo) >= 0 && v.Compare(hi) <= 0 {
+			w := width(lo, hi)
+			if w <= 0 {
+				return 1 / float64(n)
+			}
+			return 1 / float64(n) / w
+		}
+	}
+	return 0
+}
+
+// within returns the interpolated position of v in [lo, hi] as a fraction
+// in [0,1]; non-numeric kinds fall back to 0.5.
+func (h *Histogram) within(lo, hi, v rel.Value) float64 {
+	if lo.Kind() == rel.KindString || hi.Kind() == rel.KindString {
+		return 0.5
+	}
+	w := width(lo, hi)
+	if w <= 0 {
+		return 0.5
+	}
+	p := (v.AsFloat() - lo.AsFloat()) / w
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func width(lo, hi rel.Value) float64 {
+	if lo.Kind() == rel.KindString || hi.Kind() == rel.KindString {
+		return 0
+	}
+	return hi.AsFloat() - lo.AsFloat()
+}
+
+// JoinSelectivity estimates the selectivity of the equi-join predicate
+// left = right over the cross product of the two columns' tables,
+// following PostgreSQL's eqjoinsel (§4.2.1): when both sides have MCV
+// lists the lists are joined exactly, with the residual mass matched
+// under uniformity; otherwise the System-R rule 1/max(nd1, nd2) applies.
+func JoinSelectivity(left, right *ColumnStats) float64 {
+	if left == nil || right == nil {
+		return DefaultJoinSel
+	}
+	nd1, nd2 := left.NumDistinct, right.NumDistinct
+	if nd1 == 0 || nd2 == 0 {
+		return 0
+	}
+	if len(left.MCV) == 0 || len(right.MCV) == 0 {
+		return clampSel(1 / float64(maxInt(nd1, nd2)))
+	}
+
+	// Join the two MCV lists: exact match mass.
+	matchProd := 0.0
+	matched1 := 0.0
+	matched2 := 0.0
+	for _, e1 := range left.MCV {
+		if f2, ok := right.MCVFreq(e1.Value); ok {
+			matchProd += e1.Freq * f2
+			matched1 += e1.Freq
+		}
+	}
+	for _, e2 := range right.MCV {
+		if _, ok := left.MCVFreq(e2.Value); ok {
+			matched2 += e2.Freq
+		}
+	}
+	unmatched1 := left.mcvFreqSum - matched1
+	unmatched2 := right.mcvFreqSum - matched2
+	other1 := 1 - left.mcvFreqSum - left.NullFrac
+	other2 := 1 - right.mcvFreqSum - right.NullFrac
+	if other1 < 0 {
+		other1 = 0
+	}
+	if other2 < 0 {
+		other2 = 0
+	}
+	restND1 := float64(nd1 - len(left.MCV))
+	restND2 := float64(nd2 - len(right.MCV))
+
+	sel := matchProd
+	// Unmatched MCVs of one side join the other side's non-MCV mass
+	// under uniformity (each non-MCV distinct value has other/restND mass
+	// and matches a given value with probability 1/restND... PostgreSQL
+	// charges other/restND per unmatched MCV value's match probability).
+	if restND2 > 0 {
+		sel += unmatched1 * other2 / restND2
+	}
+	if restND1 > 0 {
+		sel += unmatched2 * other1 / restND1
+	}
+	// Non-MCV vs non-MCV: uniform over the larger residual domain.
+	restND := restND1
+	if restND2 > restND {
+		restND = restND2
+	}
+	if restND > 0 {
+		sel += other1 * other2 / restND
+	}
+	return clampSel(sel)
+}
+
+// DefaultJoinSel is the selectivity assumed for join predicates with no
+// statistics at all (PostgreSQL's DEFAULT_EQ_SEL).
+const DefaultJoinSel = 0.005
+
+// DefaultEqSel is the selectivity assumed for equality predicates with no
+// statistics.
+const DefaultEqSel = 0.005
+
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"reopt/internal/rel"
+	"reopt/internal/storage"
+)
+
+func ottTable(name string, domain, perValue int, seed int64) *storage.Table {
+	t := storage.NewTable(name, rel.NewSchema(
+		rel.Column{Name: "a", Kind: rel.KindInt},
+		rel.Column{Name: "b", Kind: rel.KindInt},
+	))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < domain*perValue; i++ {
+		v := int64(rng.Intn(domain))
+		t.MustAppend(rel.Row{rel.Int(v), rel.Int(v)}) // B = A
+	}
+	return t
+}
+
+func TestBuildHist2D(t *testing.T) {
+	tab := ottTable("r1", 100, 10, 1)
+	h, err := BuildHist2D(tab, "a", "b", 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumRows != 1000 {
+		t.Fatalf("rows: %d", h.NumRows)
+	}
+	// Pr(A = a) should be ~1/100 for any in-domain a.
+	s := h.SelEqualsA(10)
+	if s < 0.002 || s > 0.05 {
+		t.Errorf("SelEqualsA: %v", s)
+	}
+}
+
+// TestExample2EstimatesIdentical is the paper's §5.3.1 claim: the 2-D
+// histogram gives the same selectivity estimate for the empty query
+// (a1=0, a2=1) and the non-empty one (a1=0, a2=0), because 0 and 1 fall
+// in the same 2-wide bucket and in-bucket uniformity hides B = A.
+func TestExample2EstimatesIdentical(t *testing.T) {
+	h1, err := BuildHist2D(ottTable("r1", 100, 10, 1), "a", "b", 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := BuildHist2D(ottTable("r2", 100, 10, 2), "a", "b", 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sEmpty := EstimateOTTJoinSel(h1, h2, 0, 1)
+	sNonEmpty := EstimateOTTJoinSel(h1, h2, 0, 0)
+	if sEmpty != sNonEmpty {
+		t.Errorf("estimates differ: empty %v vs non-empty %v", sEmpty, sNonEmpty)
+	}
+	if sEmpty == 0 {
+		t.Error("estimates should be positive")
+	}
+}
+
+func TestHist2DErrors(t *testing.T) {
+	tab := ottTable("r1", 10, 2, 1)
+	if _, err := BuildHist2D(tab, "a", "b", 0, 5); err == nil {
+		t.Error("zero buckets should error")
+	}
+	if _, err := BuildHist2D(tab, "zzz", "b", 5, 5); err == nil {
+		t.Error("unknown column should error")
+	}
+	str := storage.NewTable("s", rel.NewSchema(
+		rel.Column{Name: "a", Kind: rel.KindString},
+		rel.Column{Name: "b", Kind: rel.KindString},
+	))
+	str.MustAppend(rel.Row{rel.String_("x"), rel.String_("y")})
+	if _, err := BuildHist2D(str, "a", "b", 5, 5); err == nil {
+		t.Error("string columns should error")
+	}
+}
+
+func TestHist2DEmptyTable(t *testing.T) {
+	tab := storage.NewTable("e", rel.NewSchema(
+		rel.Column{Name: "a", Kind: rel.KindInt},
+		rel.Column{Name: "b", Kind: rel.KindInt},
+	))
+	h, err := BuildHist2D(tab, "a", "b", 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SelEqualsA(0) != 0 {
+		t.Error("empty table should estimate 0")
+	}
+}
+
+func TestCondBDistSumsToOne(t *testing.T) {
+	tab := ottTable("r1", 100, 10, 3)
+	h, err := BuildHist2D(tab, "a", "b", 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := h.CondBDist(42)
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("conditional distribution sums to %v", sum)
+	}
+}

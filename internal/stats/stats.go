@@ -1,0 +1,229 @@
+// Package stats implements PostgreSQL-style table statistics and
+// selectivity estimation: per-column n_distinct, most-common-value (MCV)
+// lists with exact frequencies, and equi-depth histograms over the
+// remaining values (mirroring pg_stats), plus the estimation rules the
+// paper describes in §4.2.1 — MCV hits use recorded frequencies, misses
+// assume uniformity over the non-MCV distinct values, equi-join
+// selectivity uses the System-R 1/max(ndv) rule refined by joining the
+// two MCV lists, and conjunctions combine under the attribute-value-
+// independence (AVI) assumption.
+//
+// The package also provides 2-D equi-width histograms used to reproduce
+// the paper's §5.3.1 argument that even multidimensional histograms
+// cannot detect the OTT correlation.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"reopt/internal/rel"
+	"reopt/internal/storage"
+)
+
+// DefaultTarget is the statistics target: the maximum MCV list length and
+// histogram bucket count, matching PostgreSQL's default_statistics_target.
+const DefaultTarget = 100
+
+// MCVEntry is one most-common value and its relative frequency.
+type MCVEntry struct {
+	Value rel.Value
+	// Freq is the fraction of table rows equal to Value.
+	Freq float64
+}
+
+// ColumnStats holds the statistics for a single column, the analog of a
+// pg_stats row.
+type ColumnStats struct {
+	Table  string
+	Column string
+
+	// NumRows is the table row count at ANALYZE time.
+	NumRows int
+	// NullFrac is the fraction of NULL values.
+	NullFrac float64
+	// NumDistinct is the number of distinct non-null values.
+	NumDistinct int
+	// MCV lists the most common values, most frequent first.
+	MCV []MCVEntry
+	// Hist is an equi-depth histogram over the non-MCV values; nil when
+	// every distinct value made it into the MCV list.
+	Hist *Histogram
+
+	mcvFreqSum float64
+	mcvIndex   map[rel.ValueKey]float64
+}
+
+// MCVFreqSum returns the total frequency mass captured by the MCV list.
+func (cs *ColumnStats) MCVFreqSum() float64 { return cs.mcvFreqSum }
+
+// MCVFreq returns the recorded frequency of v and whether v is an MCV.
+func (cs *ColumnStats) MCVFreq(v rel.Value) (float64, bool) {
+	f, ok := cs.mcvIndex[v.Key()]
+	return f, ok
+}
+
+// Histogram is an equi-depth histogram: Bounds has NumBuckets+1 entries
+// and each bucket [Bounds[i], Bounds[i+1]) holds approximately the same
+// number of the values it was built over.
+type Histogram struct {
+	Bounds []rel.Value
+	// TotalFrac is the fraction of table rows the histogram covers (rows
+	// that are neither NULL nor MCVs).
+	TotalFrac float64
+}
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int {
+	if h == nil || len(h.Bounds) < 2 {
+		return 0
+	}
+	return len(h.Bounds) - 1
+}
+
+// AnalyzeOptions tunes statistics collection.
+type AnalyzeOptions struct {
+	// Target caps MCV length and histogram buckets; 0 means DefaultTarget.
+	Target int
+	// MCVMinCount is the minimum occurrence count for a value to be
+	// considered "common"; 0 means 2 (values seen once never enter the
+	// MCV list, as in PostgreSQL's heuristic).
+	MCVMinCount int
+}
+
+// AnalyzeColumn computes full-scan statistics for one column of a table.
+// Unlike PostgreSQL, which samples, we scan the whole (in-memory) table:
+// statistics are exact, which makes the remaining estimation errors
+// attributable purely to the estimation model (AVI, uniformity), exactly
+// the errors the paper studies.
+func AnalyzeColumn(t *storage.Table, pos int, opts AnalyzeOptions) *ColumnStats {
+	target := opts.Target
+	if target <= 0 {
+		target = DefaultTarget
+	}
+	minCount := opts.MCVMinCount
+	if minCount <= 0 {
+		minCount = 2
+	}
+
+	col := t.Schema().Columns[pos]
+	cs := &ColumnStats{
+		Table:   col.Table,
+		Column:  col.Name,
+		NumRows: t.NumRows(),
+	}
+	if cs.NumRows == 0 {
+		cs.mcvIndex = map[rel.ValueKey]float64{}
+		return cs
+	}
+
+	counts := make(map[rel.ValueKey]int)
+	exemplar := make(map[rel.ValueKey]rel.Value)
+	nulls := 0
+	for _, row := range t.Rows() {
+		v := row[pos]
+		if v.IsNull() {
+			nulls++
+			continue
+		}
+		k := v.Key()
+		counts[k]++
+		if _, ok := exemplar[k]; !ok {
+			exemplar[k] = v
+		}
+	}
+	cs.NullFrac = float64(nulls) / float64(cs.NumRows)
+	cs.NumDistinct = len(counts)
+
+	// MCV list: the up-to-target most frequent values with count >= minCount.
+	type vc struct {
+		v rel.Value
+		c int
+	}
+	all := make([]vc, 0, len(counts))
+	for k, c := range counts {
+		all = append(all, vc{v: exemplar[k], c: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].v.Compare(all[j].v) < 0
+	})
+	cs.mcvIndex = make(map[rel.ValueKey]float64)
+	for _, e := range all {
+		if len(cs.MCV) >= target || e.c < minCount {
+			break
+		}
+		f := float64(e.c) / float64(cs.NumRows)
+		cs.MCV = append(cs.MCV, MCVEntry{Value: e.v, Freq: f})
+		cs.mcvIndex[e.v.Key()] = f
+		cs.mcvFreqSum += f
+	}
+
+	// Equi-depth histogram over the non-MCV values.
+	rest := make([]rel.Value, 0, cs.NumRows)
+	for _, row := range t.Rows() {
+		v := row[pos]
+		if v.IsNull() {
+			continue
+		}
+		if _, ok := cs.mcvIndex[v.Key()]; ok {
+			continue
+		}
+		rest = append(rest, v)
+	}
+	if len(rest) > 0 {
+		cs.Hist = buildHistogram(rest, target)
+		cs.Hist.TotalFrac = float64(len(rest)) / float64(cs.NumRows)
+	}
+	return cs
+}
+
+func buildHistogram(vals []rel.Value, buckets int) *Histogram {
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	if buckets > len(vals) {
+		buckets = len(vals)
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	bounds := make([]rel.Value, 0, buckets+1)
+	for b := 0; b <= buckets; b++ {
+		i := b * (len(vals) - 1) / buckets
+		bounds = append(bounds, vals[i])
+	}
+	return &Histogram{Bounds: bounds}
+}
+
+// TableStats aggregates column statistics for one table.
+type TableStats struct {
+	Table   string
+	NumRows int
+	NumPage int
+	Columns map[string]*ColumnStats
+}
+
+// Analyze computes statistics for every column of the table (the ANALYZE
+// command).
+func Analyze(t *storage.Table, opts AnalyzeOptions) *TableStats {
+	ts := &TableStats{
+		Table:   t.Name(),
+		NumRows: t.NumRows(),
+		NumPage: t.NumPages(),
+		Columns: make(map[string]*ColumnStats, t.Schema().Len()),
+	}
+	for pos, col := range t.Schema().Columns {
+		ts.Columns[col.Name] = AnalyzeColumn(t, pos, opts)
+	}
+	return ts
+}
+
+// Column returns the stats for the named column or an error.
+func (ts *TableStats) Column(name string) (*ColumnStats, error) {
+	cs, ok := ts.Columns[name]
+	if !ok {
+		return nil, fmt.Errorf("stats: no statistics for %s.%s", ts.Table, name)
+	}
+	return cs, nil
+}

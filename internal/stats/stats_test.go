@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reopt/internal/rel"
+	"reopt/internal/storage"
+)
+
+func tableOf(vals []int64) *storage.Table {
+	t := storage.NewTable("t", rel.NewSchema(rel.Column{Name: "x", Kind: rel.KindInt}))
+	for _, v := range vals {
+		t.MustAppend(rel.Row{rel.Int(v)})
+	}
+	return t
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	// 50x value 1, 30x value 2, 20 singletons.
+	var vals []int64
+	for i := 0; i < 50; i++ {
+		vals = append(vals, 1)
+	}
+	for i := 0; i < 30; i++ {
+		vals = append(vals, 2)
+	}
+	for i := int64(0); i < 20; i++ {
+		vals = append(vals, 100+i)
+	}
+	cs := AnalyzeColumn(tableOf(vals), 0, AnalyzeOptions{})
+	if cs.NumRows != 100 {
+		t.Fatalf("rows: %d", cs.NumRows)
+	}
+	if cs.NumDistinct != 22 {
+		t.Fatalf("ndistinct: %d", cs.NumDistinct)
+	}
+	if len(cs.MCV) != 2 {
+		t.Fatalf("MCVs: %d (singletons must not be MCVs)", len(cs.MCV))
+	}
+	if cs.MCV[0].Value.AsInt() != 1 || math.Abs(cs.MCV[0].Freq-0.5) > 1e-12 {
+		t.Errorf("top MCV: %+v", cs.MCV[0])
+	}
+	if math.Abs(cs.MCVFreqSum()-0.8) > 1e-12 {
+		t.Errorf("MCV freq sum: %v", cs.MCVFreqSum())
+	}
+	if cs.Hist == nil || cs.Hist.NumBuckets() == 0 {
+		t.Error("histogram missing for non-MCV values")
+	}
+}
+
+func TestAnalyzeNulls(t *testing.T) {
+	tab := storage.NewTable("t", rel.NewSchema(rel.Column{Name: "x", Kind: rel.KindInt}))
+	for i := 0; i < 10; i++ {
+		tab.MustAppend(rel.Row{rel.Null})
+	}
+	for i := 0; i < 30; i++ {
+		tab.MustAppend(rel.Row{rel.Int(7)})
+	}
+	cs := AnalyzeColumn(tab, 0, AnalyzeOptions{})
+	if math.Abs(cs.NullFrac-0.25) > 1e-12 {
+		t.Errorf("null frac: %v", cs.NullFrac)
+	}
+	if cs.NumDistinct != 1 {
+		t.Errorf("ndistinct: %d", cs.NumDistinct)
+	}
+	if s := cs.SelEquals(rel.Null); s != 0 {
+		t.Errorf("= NULL selectivity: %v", s)
+	}
+}
+
+func TestSelEqualsMCVHitAndMiss(t *testing.T) {
+	// 60x value 5, plus values 0..39 once each... use count>=2 for MCV:
+	// make 0..19 appear twice.
+	var vals []int64
+	for i := 0; i < 60; i++ {
+		vals = append(vals, 5)
+	}
+	for i := int64(0); i < 20; i++ {
+		vals = append(vals, 100+i, 100+i)
+	}
+	cs := AnalyzeColumn(tableOf(vals), 0, AnalyzeOptions{})
+	// MCV hit: exact frequency.
+	if s := cs.SelEquals(rel.Int(5)); math.Abs(s-0.6) > 1e-12 {
+		t.Errorf("MCV hit sel: %v", s)
+	}
+	// With every distinct value an MCV, a miss estimates one row.
+	if s := cs.SelEquals(rel.Int(999)); s != 1.0/100 {
+		t.Errorf("miss sel: %v", s)
+	}
+}
+
+func TestSelEqualsUniformMiss(t *testing.T) {
+	// Uniform 1000 distinct values x2, MCV target caps at 100; misses
+	// spread the residual mass over the remaining distinct values.
+	var vals []int64
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, i, i)
+	}
+	cs := AnalyzeColumn(tableOf(vals), 0, AnalyzeOptions{})
+	if len(cs.MCV) != 100 {
+		t.Fatalf("MCVs: %d", len(cs.MCV))
+	}
+	s := cs.SelEquals(rel.Int(1500)) // not present, estimated as uniform share
+	want := (1 - cs.MCVFreqSum()) / float64(1000-100)
+	if math.Abs(s-want) > 1e-12 {
+		t.Errorf("miss sel: %v want %v", s, want)
+	}
+}
+
+func TestSelRangeAndLess(t *testing.T) {
+	var vals []int64
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, i)
+	}
+	cs := AnalyzeColumn(tableOf(vals), 0, AnalyzeOptions{})
+	if s := cs.SelRange(rel.Int(0), rel.Int(999)); s < 0.95 || s > 1.001 {
+		t.Errorf("full range sel: %v", s)
+	}
+	s := cs.SelRange(rel.Int(100), rel.Int(299))
+	if s < 0.15 || s > 0.25 {
+		t.Errorf("20%% range sel: %v", s)
+	}
+	if s := cs.SelLess(rel.Int(499)); s < 0.45 || s > 0.55 {
+		t.Errorf("half less sel: %v", s)
+	}
+	if s := cs.SelGreater(rel.Int(900)); s < 0.05 || s > 0.15 {
+		t.Errorf("top decile sel: %v", s)
+	}
+	if s := cs.SelRange(rel.Int(10), rel.Int(5)); s != 0 {
+		t.Errorf("inverted range sel: %v", s)
+	}
+}
+
+// Property: selectivities stay within [0,1] for arbitrary probe values.
+func TestSelectivityBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var vals []int64
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, rng.Int63n(300))
+	}
+	cs := AnalyzeColumn(tableOf(vals), 0, AnalyzeOptions{})
+	f := func(v int64) bool {
+		for _, s := range []float64{
+			cs.SelEquals(rel.Int(v)),
+			cs.SelNotEquals(rel.Int(v)),
+			cs.SelLess(rel.Int(v)),
+			cs.SelGreater(rel.Int(v)),
+			cs.SelRange(rel.Int(v), rel.Int(v+100)),
+		} {
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinSelectivitySystemR(t *testing.T) {
+	// No MCVs on either side (all singletons): 1/max(nd1, nd2).
+	var a, b []int64
+	for i := int64(0); i < 100; i++ {
+		a = append(a, i)
+	}
+	for i := int64(0); i < 50; i++ {
+		b = append(b, i)
+	}
+	ca := AnalyzeColumn(tableOf(a), 0, AnalyzeOptions{})
+	cb := AnalyzeColumn(tableOf(b), 0, AnalyzeOptions{})
+	s := JoinSelectivity(ca, cb)
+	if math.Abs(s-0.01) > 1e-12 {
+		t.Errorf("join sel: %v, want 0.01", s)
+	}
+}
+
+func TestJoinSelectivityMCVRefinement(t *testing.T) {
+	// Skewed sides: value 1 dominates both; the MCV join should push
+	// the estimate far above 1/max(nd).
+	var a, b []int64
+	for i := 0; i < 900; i++ {
+		a = append(a, 1)
+		b = append(b, 1)
+	}
+	for i := int64(0); i < 100; i++ {
+		a = append(a, 10+i)
+		b = append(b, 1000+i)
+	}
+	ca := AnalyzeColumn(tableOf(a), 0, AnalyzeOptions{})
+	cb := AnalyzeColumn(tableOf(b), 0, AnalyzeOptions{})
+	s := JoinSelectivity(ca, cb)
+	// True selectivity: 900*900/(1000*1000) = 0.81.
+	if s < 0.7 || s > 0.9 {
+		t.Errorf("MCV join sel: %v, want ~0.81", s)
+	}
+	// Exact true join size check.
+	trueSel := 900.0 * 900.0 / (1000.0 * 1000.0)
+	if math.Abs(s-trueSel) > 0.05 {
+		t.Errorf("MCV join sel %v far from true %v", s, trueSel)
+	}
+}
+
+func TestJoinSelectivityNilStats(t *testing.T) {
+	if s := JoinSelectivity(nil, nil); s != DefaultJoinSel {
+		t.Errorf("nil stats sel: %v", s)
+	}
+}
+
+func TestAnalyzeEmptyTable(t *testing.T) {
+	cs := AnalyzeColumn(tableOf(nil), 0, AnalyzeOptions{})
+	if cs.NumRows != 0 || cs.SelEquals(rel.Int(1)) != 0 {
+		t.Error("empty table stats wrong")
+	}
+}
+
+func TestTableStatsColumnLookup(t *testing.T) {
+	tab := storage.NewTable("t", rel.NewSchema(
+		rel.Column{Name: "x", Kind: rel.KindInt},
+		rel.Column{Name: "y", Kind: rel.KindInt},
+	))
+	tab.MustAppend(rel.Row{rel.Int(1), rel.Int(2)})
+	ts := Analyze(tab, AnalyzeOptions{})
+	if _, err := ts.Column("x"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ts.Column("zzz"); err == nil {
+		t.Error("unknown column should error")
+	}
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"sort"
+
+	"reopt/internal/rel"
+)
+
+// Index is a secondary index over one column of a table. It maintains two
+// structures: a hash directory for O(1) point lookups (the common case in
+// the paper's workloads, which use only equality predicates) and a lazily
+// rebuilt sorted run for range scans and ordered iteration.
+type Index struct {
+	table  *Table
+	column string
+	colPos int
+
+	hash map[rel.ValueKey][]int
+
+	sorted      []indexEntry
+	sortedClean bool
+}
+
+type indexEntry struct {
+	val rel.Value
+	id  int
+}
+
+func newIndex(t *Table, column string, pos int) *Index {
+	return &Index{
+		table:  t,
+		column: column,
+		colPos: pos,
+		hash:   make(map[rel.ValueKey][]int),
+	}
+}
+
+// Column returns the indexed column name.
+func (ix *Index) Column() string { return ix.column }
+
+// ColumnPos returns the indexed column's position in the table schema.
+func (ix *Index) ColumnPos() int { return ix.colPos }
+
+func (ix *Index) insert(v rel.Value, id int) {
+	k := v.Key()
+	ix.hash[k] = append(ix.hash[k], id)
+	ix.sorted = append(ix.sorted, indexEntry{val: v, id: id})
+	ix.sortedClean = false
+}
+
+// Lookup returns the heap row ids whose indexed column equals v, in heap
+// order. NULL never matches. The returned slice is owned by the index and
+// must not be mutated.
+func (ix *Index) Lookup(v rel.Value) []int {
+	if v.IsNull() {
+		return nil
+	}
+	return ix.hash[v.Key()]
+}
+
+// NumDistinct returns the number of distinct keys in the index.
+func (ix *Index) NumDistinct() int { return len(ix.hash) }
+
+// NumEntries returns the total number of indexed rows.
+func (ix *Index) NumEntries() int { return len(ix.sorted) }
+
+// LeafPages approximates the number of index leaf pages, used by the cost
+// model for index scans. Index entries are denser than heap rows; we
+// assume 4x the heap fanout.
+func (ix *Index) LeafPages() int {
+	per := ix.table.rowsPerPage * 4
+	n := len(ix.sorted)
+	if n == 0 {
+		return 1
+	}
+	return (n + per - 1) / per
+}
+
+// Height approximates the B-tree height (root-to-leaf page reads for a
+// point descent), used to charge random page accesses per probe.
+func (ix *Index) Height() int {
+	h := 1
+	pages := ix.LeafPages()
+	const fanout = 256
+	for pages > 1 {
+		pages = (pages + fanout - 1) / fanout
+		h++
+	}
+	return h
+}
+
+func (ix *Index) ensureSorted() {
+	if ix.sortedClean {
+		return
+	}
+	sort.SliceStable(ix.sorted, func(a, b int) bool {
+		return ix.sorted[a].val.Compare(ix.sorted[b].val) < 0
+	})
+	ix.sortedClean = true
+}
+
+// Range returns row ids whose indexed value v satisfies lo <= v <= hi
+// under Compare, in value order. A nil bound (rel.Null is not a valid
+// bound) is expressed by passing includeLo/includeHi=false with the
+// corresponding zero bound unused; callers in this codebase always pass
+// closed bounds, matching the equality-heavy workloads.
+func (ix *Index) Range(lo, hi rel.Value) []int {
+	ix.ensureSorted()
+	n := len(ix.sorted)
+	start := sort.Search(n, func(i int) bool {
+		return ix.sorted[i].val.Compare(lo) >= 0
+	})
+	end := sort.Search(n, func(i int) bool {
+		return ix.sorted[i].val.Compare(hi) > 0
+	})
+	if start >= end {
+		return nil
+	}
+	out := make([]int, 0, end-start)
+	for i := start; i < end; i++ {
+		out = append(out, ix.sorted[i].id)
+	}
+	return out
+}
+
+// Ordered returns all row ids in indexed-value order, for index-order
+// scans and merge joins.
+func (ix *Index) Ordered() []int {
+	ix.ensureSorted()
+	out := make([]int, len(ix.sorted))
+	for i, e := range ix.sorted {
+		out[i] = e.id
+	}
+	return out
+}

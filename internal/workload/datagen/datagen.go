@@ -1,0 +1,89 @@
+// Package datagen provides the seeded random primitives shared by the
+// workload generators: uniform and Zipfian integer samplers and a
+// deterministic per-name seed derivation, so that every generated
+// database is reproducible bit-for-bit from a single seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Seed derives a stable sub-seed from a base seed and a name, so that
+// adding a table or column never perturbs the data of the others.
+func Seed(base int64, name string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return base ^ int64(h)
+}
+
+// Zipf draws integers in [0, n) with P(k) ∝ 1/(k+1)^z via inverse-CDF
+// over a precomputed cumulative table. Unlike math/rand.Zipf it accepts
+// any z ≥ 0 (z = 0 degenerates to uniform, z = 1 is the paper's skewed
+// TPC-H setting).
+type Zipf struct {
+	rng *rand.Rand
+	n   int
+	cum []float64 // cumulative probabilities; nil when z == 0
+}
+
+// NewZipf builds a sampler over [0, n) with exponent z.
+func NewZipf(rng *rand.Rand, n int, z float64) *Zipf {
+	if n <= 0 {
+		panic("datagen: Zipf domain must be positive")
+	}
+	s := &Zipf{rng: rng, n: n}
+	if z == 0 {
+		return s
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), z)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	s.cum = cum
+	return s
+}
+
+// Next draws one value.
+func (s *Zipf) Next() int64 {
+	if s.cum == nil {
+		return int64(s.rng.Intn(s.n))
+	}
+	u := s.rng.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, s.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}
+
+// Shuffled returns a shuffled identity permutation of [0, n), so skewed
+// frequencies land on unpredictable key values rather than always on the
+// smallest keys.
+func Shuffled(rng *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Pick returns a uniformly chosen element of xs.
+func Pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}

@@ -1,0 +1,105 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeedStable(t *testing.T) {
+	if Seed(1, "x") != Seed(1, "x") {
+		t.Error("seed not deterministic")
+	}
+	if Seed(1, "x") == Seed(1, "y") {
+		t.Error("different names should give different seeds")
+	}
+	if Seed(1, "x") == Seed(2, "x") {
+		t.Error("different bases should give different seeds")
+	}
+}
+
+func TestZipfUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("value %d: %d draws, want ~10000", v, c)
+		}
+	}
+}
+
+func TestZipfSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 100, 1)
+	counts := make([]int, 100)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Under z=1 over 100 values, P(0) = 1/H_100 ≈ 0.193.
+	p0 := float64(counts[0]) / float64(n)
+	if p0 < 0.17 || p0 < float64(counts[99])/float64(n) {
+		t.Errorf("zipf head probability %v implausible", p0)
+	}
+	// Monotone-ish decay head to tail.
+	if counts[0] <= counts[50] {
+		t.Errorf("zipf not decaying: head %d vs mid %d", counts[0], counts[50])
+	}
+}
+
+// Property: draws stay in-domain for any z and n.
+func TestZipfDomainProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(nRaw uint8, zRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		z := float64(zRaw%30) / 10
+		s := NewZipf(rng, n, z)
+		for i := 0; i < 100; i++ {
+			v := s.Next()
+			if v < 0 || v >= int64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfPanicsOnEmptyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewZipf(rand.New(rand.NewSource(1)), 0, 1)
+}
+
+func TestShuffled(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Shuffled(rng, 100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(rng, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("pick did not cover domain: %v", seen)
+	}
+}

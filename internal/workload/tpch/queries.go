@@ -1,0 +1,195 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reopt/internal/catalog"
+	"reopt/internal/sql"
+	"reopt/internal/workload/datagen"
+)
+
+// Template is the SPJ skeleton of one TPC-H query. Each instance draws
+// fresh constants, mirroring the paper's "10 instances per query"
+// methodology (§5.2). Q15 is omitted, as in the paper (it needs a view).
+type Template struct {
+	// ID is the TPC-H query number (1..22, without 15).
+	ID int
+	// Gen renders one instance's SQL given an instance RNG.
+	Gen func(rng *rand.Rand) string
+}
+
+func date(rng *rand.Rand, maxStart int) int64 { return int64(rng.Intn(maxStart)) }
+
+// Templates returns the 21 query skeletons in TPC-H number order.
+func Templates() []Template {
+	return []Template{
+		{1, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM lineitem WHERE l_shipdate <= %d`, date(r, dateRange))
+		}},
+		{2, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM part, partsupp, supplier, nation, region
+				WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+				AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+				AND p_size = %d AND r_name = '%s'`,
+				r.Intn(50)+1, datagen.Pick(r, regions))
+		}},
+		{3, func(r *rand.Rand) string {
+			d := date(r, dateRange-30)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM customer, orders, lineitem
+				WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+				AND c_mktsegment = '%s' AND o_orderdate < %d AND l_shipdate > %d`,
+				datagen.Pick(r, segments), d, d)
+		}},
+		{4, func(r *rand.Rand) string {
+			d := date(r, dateRange-120)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM orders, lineitem
+				WHERE l_orderkey = o_orderkey
+				AND o_orderdate BETWEEN %d AND %d AND l_receiptdate > %d`,
+				d, d+90, d+30)
+		}},
+		{5, func(r *rand.Rand) string {
+			d := date(r, dateRange-400)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM customer, orders, lineitem, supplier, nation, region
+				WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey
+				AND c_nationkey = n_nationkey AND s_nationkey = n_nationkey
+				AND n_regionkey = r_regionkey
+				AND r_name = '%s' AND o_orderdate BETWEEN %d AND %d`,
+				datagen.Pick(r, regions), d, d+365)
+		}},
+		{6, func(r *rand.Rand) string {
+			d := date(r, dateRange-400)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM lineitem
+				WHERE l_shipdate BETWEEN %d AND %d AND l_discount BETWEEN %d AND %d AND l_quantity < %d`,
+				d, d+365, r.Intn(5), r.Intn(5)+5, r.Intn(25)+24)
+		}},
+		{7, func(r *rand.Rand) string {
+			d := date(r, dateRange-800)
+			n1 := datagen.Pick(r, nations)
+			n2 := datagen.Pick(r, nations)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM supplier, lineitem, orders, customer, nation AS n1, nation AS n2
+				WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey
+				AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey
+				AND n1.n_name = '%s' AND n2.n_name = '%s' AND l_shipdate BETWEEN %d AND %d`,
+				n1, n2, d, d+730)
+		}},
+		{8, func(r *rand.Rand) string {
+			d := date(r, dateRange-800)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM part, supplier, lineitem, orders, customer, nation AS n1, nation AS n2, region
+				WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey
+				AND o_custkey = c_custkey AND c_nationkey = n1.n_nationkey
+				AND n1.n_regionkey = r_regionkey AND s_nationkey = n2.n_nationkey
+				AND r_name = '%s' AND o_orderdate BETWEEN %d AND %d AND p_type = '%s'`,
+				datagen.Pick(r, regions), d, d+730, datagen.Pick(r, types))
+		}},
+		{9, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM part, supplier, lineitem, partsupp, orders, nation
+				WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+				AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+				AND p_brand = '%s'`, datagen.Pick(r, brands))
+		}},
+		{10, func(r *rand.Rand) string {
+			d := date(r, dateRange-120)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM customer, orders, lineitem, nation
+				WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND c_nationkey = n_nationkey
+				AND o_orderdate BETWEEN %d AND %d AND l_returnflag = 'R'`, d, d+90)
+		}},
+		{11, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM partsupp, supplier, nation
+				WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = '%s'`,
+				datagen.Pick(r, nations))
+		}},
+		{12, func(r *rand.Rand) string {
+			d := date(r, dateRange-400)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM orders, lineitem
+				WHERE l_orderkey = o_orderkey AND l_shipmode = '%s'
+				AND l_receiptdate BETWEEN %d AND %d`,
+				datagen.Pick(r, shipmodes), d, d+365)
+		}},
+		{13, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM customer, orders
+				WHERE c_custkey = o_custkey AND o_orderpriority = '%s'`,
+				datagen.Pick(r, priorities))
+		}},
+		{14, func(r *rand.Rand) string {
+			d := date(r, dateRange-40)
+			return fmt.Sprintf(`SELECT COUNT(*) FROM lineitem, part
+				WHERE l_partkey = p_partkey AND l_shipdate BETWEEN %d AND %d`, d, d+30)
+		}},
+		{16, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM partsupp, part
+				WHERE p_partkey = ps_partkey AND p_brand = '%s' AND p_size = %d`,
+				datagen.Pick(r, brands), r.Intn(50)+1)
+		}},
+		{17, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM lineitem, part
+				WHERE p_partkey = l_partkey AND p_brand = '%s' AND p_container = '%s'`,
+				datagen.Pick(r, brands), datagen.Pick(r, containers))
+		}},
+		{18, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM customer, orders, lineitem
+				WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey AND l_quantity > %d`,
+				r.Intn(5)+44)
+		}},
+		{19, func(r *rand.Rand) string {
+			q := r.Intn(10) + 1
+			return fmt.Sprintf(`SELECT COUNT(*) FROM lineitem, part
+				WHERE p_partkey = l_partkey AND p_brand = '%s' AND p_container = '%s'
+				AND l_quantity BETWEEN %d AND %d AND l_shipmode = 'AIR'`,
+				datagen.Pick(r, brands), datagen.Pick(r, containers), q, q+10)
+		}},
+		{20, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM supplier, nation, partsupp, part
+				WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey AND ps_partkey = p_partkey
+				AND n_name = '%s' AND p_size = %d`,
+				datagen.Pick(r, nations), r.Intn(50)+1)
+		}},
+		{21, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM supplier, lineitem, orders, nation
+				WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+				AND s_nationkey = n_nationkey
+				AND o_orderstatus = 'F' AND n_name = '%s' AND l_receiptdate > %d`,
+				datagen.Pick(r, nations), date(r, dateRange))
+		}},
+		{22, func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT COUNT(*) FROM customer, orders
+				WHERE c_custkey = o_custkey AND c_acctbal > %d`, r.Intn(500000))
+		}},
+	}
+}
+
+// QueryIDs returns the template IDs in order.
+func QueryIDs() []int {
+	ts := Templates()
+	out := make([]int, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	return out
+}
+
+// Instances parses n instances of query id against the catalog.
+func Instances(cat *catalog.Catalog, id, n int, seed int64) ([]*sql.Query, error) {
+	var tpl *Template
+	for _, t := range Templates() {
+		if t.ID == id {
+			t := t
+			tpl = &t
+			break
+		}
+	}
+	if tpl == nil {
+		return nil, fmt.Errorf("tpch: no template for query %d", id)
+	}
+	rng := rand.New(rand.NewSource(datagen.Seed(seed, fmt.Sprintf("q%d", id))))
+	out := make([]*sql.Query, 0, n)
+	for i := 0; i < n; i++ {
+		text := tpl.Gen(rng)
+		q, err := sql.Parse(text, cat)
+		if err != nil {
+			return nil, fmt.Errorf("tpch: query %d instance %d: %w\n%s", id, i, err, text)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

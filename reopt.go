@@ -1,0 +1,199 @@
+// Package reopt is a from-scratch relational query-processing stack —
+// storage, statistics, SQL front end, cost-based optimizer, Volcano
+// executor — built to reproduce "Sampling-Based Query Re-Optimization"
+// (Wu, Naughton, Singh; SIGMOD 2016). Its headline feature is the
+// paper's compile-time re-optimization loop: optimize, validate the
+// chosen plan's join cardinalities by running its join skeleton over
+// per-table samples, feed the refined estimates back, and repeat until
+// the plan stops changing.
+//
+// Quick start:
+//
+//	cat, _ := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1})
+//	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
+//	q, _ := reopt.Parse(`SELECT COUNT(*) FROM r1, r2 WHERE r1.a = 0 AND r2.a = 1 AND r1.b = r2.b`, cat)
+//	res, _ := reopt.NewReoptimizer(opt, cat).Reoptimize(q)
+//	fmt.Println(res.Final.Explain())
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the system inventory and the paper-experiment index.
+package reopt
+
+import (
+	"reopt/internal/calibrate"
+	"reopt/internal/catalog"
+	"reopt/internal/core"
+	"reopt/internal/cost"
+	"reopt/internal/executor"
+	"reopt/internal/midquery"
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sampling"
+	"reopt/internal/sql"
+	"reopt/internal/stats"
+	"reopt/internal/storage"
+	"reopt/internal/workload/ott"
+	"reopt/internal/workload/tpcds"
+	"reopt/internal/workload/tpch"
+)
+
+// Core data-model types.
+type (
+	// Kind identifies a value's runtime type.
+	Kind = rel.Kind
+	// Value is a relational scalar (NULL, BIGINT, DOUBLE, or TEXT).
+	Value = rel.Value
+	// Row is a tuple of values.
+	Row = rel.Row
+	// Column describes one attribute.
+	Column = rel.Column
+	// Schema is an ordered list of columns.
+	Schema = rel.Schema
+	// Table is an in-memory heap table with optional indexes.
+	Table = storage.Table
+	// Catalog owns tables, statistics, and samples.
+	Catalog = catalog.Catalog
+)
+
+// Query processing types.
+type (
+	// Query is a resolved select-project-join query.
+	Query = sql.Query
+	// Plan is a physical query plan.
+	Plan = plan.Plan
+	// Optimizer is the cost-based optimizer.
+	Optimizer = optimizer.Optimizer
+	// OptimizerConfig tunes the optimizer.
+	OptimizerConfig = optimizer.Config
+	// EstimationProfile customizes selectivity estimation (the
+	// commercial-system emulations of Figures 12-13).
+	EstimationProfile = optimizer.Profile
+	// Gamma is the validated-cardinality store Γ of Algorithm 1.
+	Gamma = optimizer.Gamma
+	// Units are the five PostgreSQL-style cost units.
+	Units = cost.Units
+	// ExecResult is the outcome of executing a plan.
+	ExecResult = executor.Result
+	// ExecOptions tunes plan execution.
+	ExecOptions = executor.Options
+)
+
+// Re-optimization types (the paper's contribution).
+type (
+	// Reoptimizer runs Algorithm 1.
+	Reoptimizer = core.Reoptimizer
+	// ReoptOptions tunes the procedure (round/time caps, conservative
+	// blending).
+	ReoptOptions = core.Options
+	// ReoptResult is the outcome: final plan, per-round trace, Γ.
+	ReoptResult = core.Result
+	// ReoptRound is one iteration's record.
+	ReoptRound = core.Round
+	// SamplingEstimate is the Δ produced by validating one plan.
+	SamplingEstimate = sampling.Estimate
+	// MidQueryExecutor is the runtime (mid-query) re-optimization
+	// baseline (Kabra-DeWitt / POP style) the paper compares against.
+	MidQueryExecutor = midquery.Executor
+	// MidQueryResult reports one runtime-re-optimized execution.
+	MidQueryResult = midquery.Result
+)
+
+// Workload generator configs.
+type (
+	// TPCHConfig sizes the TPC-H-style database (Z is the skew).
+	TPCHConfig = tpch.Config
+	// OTTConfig sizes the Optimizer Torture Test database.
+	OTTConfig = ott.Config
+	// OTTQueryConfig describes a batch of OTT queries.
+	OTTQueryConfig = ott.QueryConfig
+	// TPCDSConfig sizes the TPC-DS-style database.
+	TPCDSConfig = tpcds.Config
+	// AnalyzeOptions tunes statistics collection.
+	AnalyzeOptions = stats.AnalyzeOptions
+	// CalibrateOptions tunes cost-unit calibration.
+	CalibrateOptions = calibrate.Options
+)
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema *Schema) *Table { return storage.NewTable(name, schema) }
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return rel.NewSchema(cols...) }
+
+// Int, Float, Str and Null construct values.
+func Int(v int64) Value     { return rel.Int(v) }
+func Float(v float64) Value { return rel.Float(v) }
+func Str(v string) Value    { return rel.String_(v) }
+
+// Null is the SQL NULL value.
+var Null = rel.Null
+
+// Value kinds.
+const (
+	KindNull   = rel.KindNull
+	KindInt    = rel.KindInt
+	KindFloat  = rel.KindFloat
+	KindString = rel.KindString
+)
+
+// Parse parses and resolves a SQL query against the catalog.
+func Parse(src string, cat *Catalog) (*Query, error) { return sql.Parse(src, cat) }
+
+// DefaultOptimizerConfig returns the standard optimizer configuration
+// (PostgreSQL-style estimation, default cost units, bushy trees).
+func DefaultOptimizerConfig() OptimizerConfig { return optimizer.DefaultConfig() }
+
+// DefaultUnits are PostgreSQL's default cost units.
+var DefaultUnits = cost.DefaultUnits
+
+// NewOptimizer returns an optimizer over the catalog.
+func NewOptimizer(cat *Catalog, cfg OptimizerConfig) *Optimizer {
+	return optimizer.New(cat, cfg)
+}
+
+// NewReoptimizer returns an Algorithm 1 runner with default options.
+func NewReoptimizer(opt *Optimizer, cat *Catalog) *Reoptimizer {
+	return core.New(opt, cat)
+}
+
+// NewMidQueryExecutor returns the runtime re-optimization baseline.
+func NewMidQueryExecutor(opt *Optimizer, cat *Catalog) *MidQueryExecutor {
+	return midquery.New(opt, cat)
+}
+
+// Execute runs a plan against the catalog's base tables.
+func Execute(p *Plan, cat *Catalog, opts ExecOptions) (*ExecResult, error) {
+	return executor.Run(p, cat, opts)
+}
+
+// EstimateBySampling validates a plan's join skeleton over the
+// catalog's samples, returning Δ (per-relation-set cardinalities).
+func EstimateBySampling(p *Plan, cat *Catalog) (*SamplingEstimate, error) {
+	return sampling.EstimatePlan(p, cat)
+}
+
+// Calibrate runs the offline cost-unit calibration micro-benchmarks.
+func Calibrate(opts CalibrateOptions) (Units, error) { return calibrate.Run(opts) }
+
+// GenerateTPCH builds the scaled-down TPC-H-style database.
+func GenerateTPCH(cfg TPCHConfig) (*Catalog, error) { return tpch.Generate(cfg) }
+
+// GenerateOTT builds the Optimizer Torture Test database (§4).
+func GenerateOTT(cfg OTTConfig) (*Catalog, error) { return ott.Generate(cfg) }
+
+// OTTQueries generates OTT query instances (§5.3).
+func OTTQueries(cat *Catalog, cfg OTTQueryConfig) ([]*Query, error) {
+	return ott.Queries(cat, cfg)
+}
+
+// GenerateTPCDS builds the TPC-DS-style database (Appendix A.2).
+func GenerateTPCDS(cfg TPCDSConfig) (*Catalog, error) { return tpcds.Generate(cfg) }
+
+// SystemAProfile and SystemBProfile emulate the estimation behaviour of
+// the two commercial systems of Figures 12-13.
+func SystemAProfile() *EstimationProfile { return optimizer.SystemAProfile() }
+func SystemBProfile() *EstimationProfile { return optimizer.SystemBProfile() }
