@@ -1,0 +1,32 @@
+# Development targets; CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all vet build test check bench bench-smoke bench-hotpath
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate: vet, build, full test suite.
+check: vet build test
+
+# bench-smoke runs every benchmark for a single iteration — a cheap
+# compile-and-execute pass that CI uses to keep the harness green.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# bench-hotpath measures the re-optimization hot path with allocation
+# counts (the series tracked across PRs).
+bench-hotpath:
+	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT' -benchtime 2s .
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...

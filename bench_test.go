@@ -15,7 +15,10 @@ import (
 
 	"reopt"
 	"reopt/internal/ballsim"
+	"reopt/internal/executor"
 	"reopt/internal/experiments"
+	"reopt/internal/plan"
+	"reopt/internal/sql"
 )
 
 func benchConfig() experiments.Config {
@@ -199,6 +202,81 @@ func BenchmarkSN1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if ballsim.SN(1000) < 30 {
 			b.Fatal("SN(1000) implausible")
+		}
+	}
+}
+
+// BenchmarkSamplingEstimatePlan times one sample-skeleton validation of a
+// 5-table OTT plan — the hot path of Algorithm 1 (the re-optimization
+// overhead of Figures 6, 9, 17 and 18). Allocations are reported so the
+// count-only fast path's allocation win stays visible in the trajectory.
+func BenchmarkSamplingEstimatePlan(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
+	p, err := opt.Optimize(qs[0], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reopt.EstimateBySampling(p, cat); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reopt.EstimateBySampling(p, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashJoinKeys times a count-only two-table hash join through
+// the general executor, isolating the cost of join-key handling (string
+// concatenation in the seed, collision-checked 64-bit hashes after).
+func BenchmarkHashJoinKeys(b *testing.B) {
+	cat := reopt.NewCatalog()
+	l := reopt.NewTable("l", reopt.NewSchema(
+		reopt.Column{Name: "k", Kind: reopt.KindInt},
+		reopt.Column{Name: "k2", Kind: reopt.KindInt},
+	))
+	r := reopt.NewTable("r", reopt.NewSchema(
+		reopt.Column{Name: "k", Kind: reopt.KindInt},
+		reopt.Column{Name: "k2", Kind: reopt.KindInt},
+	))
+	for i := 0; i < 4000; i++ {
+		l.MustAppend(reopt.Row{reopt.Int(int64(i % 512)), reopt.Int(int64(i % 7))})
+		r.MustAppend(reopt.Row{reopt.Int(int64(i % 512)), reopt.Int(int64(i % 7))})
+	}
+	cat.MustAddTable(l)
+	cat.MustAddTable(r)
+	root := &plan.JoinNode{
+		Kind: plan.HashJoin,
+		Left: &plan.ScanNode{Alias: "l", Table: "l", Access: plan.SeqScan, OutSchema: l.Schema()},
+		Right: &plan.ScanNode{Alias: "r", Table: "r", Access: plan.SeqScan, OutSchema: r.Schema()},
+		Preds: []sql.JoinPred{
+			{Left: sql.ColRef{Table: "l", Column: "k"}, Right: sql.ColRef{Table: "r", Column: "k"}},
+			{Left: sql.ColRef{Table: "l", Column: "k2"}, Right: sql.ColRef{Table: "r", Column: "k2"}},
+		},
+		OutSchema: l.Schema().Concat(r.Schema()),
+	}
+	p := &plan.Plan{Root: root, Query: &sql.Query{CountStar: true}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := executor.Run(p, cat, executor.Options{CountOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count == 0 {
+			b.Fatal("hash join produced no rows")
 		}
 	}
 }

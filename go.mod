@@ -1,0 +1,3 @@
+module reopt
+
+go 1.24

@@ -25,18 +25,25 @@ func TestRunProducesPositiveUnits(t *testing.T) {
 // TestCalibrationReflectsInMemoryProfile checks the qualitative property
 // calibration exists for: on an in-memory engine, random and sequential
 // page accesses cost about the same (no seek penalty), unlike the 4x
-// default ratio. CPU work dominates.
+// default ratio. CPU work dominates. The random-page coefficient is
+// compared against the *combined* per-row CPU units rather than
+// cpu_tuple alone: the index micro-benchmarks count RandPages, Tuples,
+// and IndexTuples in near-lockstep, so the regression's split between
+// those three is noise — their sum is the stable quantity. (With the
+// executor's per-tuple accounting overhead gone, cpu_tuple alone now
+// legitimately fits near zero on some runs.)
 func TestCalibrationReflectsInMemoryProfile(t *testing.T) {
 	u, err := Run(Options{Rows: 30000, Seed: 2, Repeats: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if u.RandPage > 100*u.CPUTuple {
-		t.Errorf("random page (%v) should not dwarf tuple CPU (%v) in memory",
-			u.RandPage, u.CPUTuple)
+	cpu := u.CPUTuple + u.CPUIndexTuple + u.CPUOperator
+	if u.RandPage > 100*cpu {
+		t.Errorf("random page (%v) should not dwarf per-row CPU work (%v) in memory",
+			u.RandPage, cpu)
 	}
-	if u.CPUTuple <= 0 {
-		t.Error("cpu_tuple must be positive")
+	if cpu <= 0 {
+		t.Error("per-row CPU units must be positive")
 	}
 }
 

@@ -158,7 +158,12 @@ func (c *Catalog) EffectiveSampleRatio(tableRows int) float64 {
 func (c *Catalog) BuildSamples(seed int64) {
 	for name, t := range c.tables {
 		r := c.EffectiveSampleRatio(t.NumRows())
-		c.samples[name] = t.Sample(name+"_sample", r, seed^hashName(name))
+		s := t.Sample(name+"_sample", r, seed^hashName(name))
+		// Samples are immutable once drawn and are scanned by the
+		// count-only skeleton engine on every validation round: prebuild
+		// their column-major projection so leaf scans run as typed loops.
+		s.ColData()
+		c.samples[name] = s
 	}
 }
 

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/plan"
+	"reopt/internal/sampling"
+)
+
+// TestCrossRoundCacheGammaIdentical: re-optimization with the
+// cross-round validation cache must be observably identical to running
+// every round's skeleton from scratch — same Γ (byte for byte), same
+// rounds, same final plan. The cache may only change *when* counts are
+// computed, never their values.
+func TestCrossRoundCacheGammaIdentical(t *testing.T) {
+	r, qs := ottSetup(t)
+
+	orig := estimatePlanFn
+	defer func() { estimatePlanFn = orig }()
+
+	for qi, q := range qs {
+		estimatePlanFn = orig // cached fast path (production default)
+		cached, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatalf("query %d cached: %v", qi, err)
+		}
+
+		// Ignore the per-run cache: every round re-executes its skeleton.
+		estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, _ *sampling.ValidationCache) (*sampling.Estimate, error) {
+			return sampling.EstimatePlan(p, c)
+		}
+		uncached, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatalf("query %d uncached: %v", qi, err)
+		}
+
+		if got, want := cached.Gamma.Snapshot(), uncached.Gamma.Snapshot(); got != want {
+			t.Errorf("query %d: Γ diverged with cache\ncached:   %s\nuncached: %s", qi, got, want)
+		}
+		if cached.NumPlans != uncached.NumPlans || len(cached.Rounds) != len(uncached.Rounds) {
+			t.Errorf("query %d: trace diverged: %d plans/%d rounds vs %d plans/%d rounds",
+				qi, cached.NumPlans, len(cached.Rounds), uncached.NumPlans, len(uncached.Rounds))
+		}
+		if cached.Final.Fingerprint() != uncached.Final.Fingerprint() {
+			t.Errorf("query %d: final plan diverged with cache", qi)
+		}
+		for ri := range cached.Rounds {
+			if ri < len(uncached.Rounds) && cached.Rounds[ri].GammaAdded != uncached.Rounds[ri].GammaAdded {
+				t.Errorf("query %d round %d: GammaAdded %d != %d",
+					qi, ri, cached.Rounds[ri].GammaAdded, uncached.Rounds[ri].GammaAdded)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"reopt/internal/optimizer"
 	"reopt/internal/plan"
+	"reopt/internal/sampling"
 	"reopt/internal/sql"
 )
 
@@ -23,10 +24,14 @@ func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	// All seeded runs validate the same query over the same samples, so
+	// one validation cache serves every run: subtrees validated while
+	// re-optimizing one seed are reused by the others.
+	cache := sampling.NewValidationCache()
 	var best *Result
 	var bestCost float64
 	for _, p := range initials {
-		res, err := r.reoptimizeFrom(q, p)
+		res, err := r.reoptimizeFrom(q, p, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -79,13 +84,13 @@ func (r *Reoptimizer) initialPlans(q *sql.Query, n int) ([]*plan.Plan, error) {
 // reoptimizeFrom runs Algorithm 1 but uses the supplied plan as P_1
 // instead of the optimizer's first choice: P_1 is validated, its Δ is
 // merged into Γ, and the loop proceeds normally from round 2.
-func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan) (*Result, error) {
+func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan, cache *sampling.ValidationCache) (*Result, error) {
 	// Temporarily narrow the optimizer call for round 1 by validating
 	// the provided plan first; Reoptimize then starts from a Γ that
 	// encodes it. If the optimizer's round-1 plan under that Γ equals
 	// the initial plan, the behaviour matches plain Algorithm 1.
 	sub := &Reoptimizer{Opt: r.Opt, Cat: r.Cat, Opts: r.Opts}
-	res, err := sub.reoptimizeSeeded(q, initial)
+	res, err := sub.reoptimizeSeeded(q, initial, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -93,15 +98,18 @@ func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan) (*Result,
 }
 
 // reoptimizeSeeded is Reoptimize with an externally supplied P_1.
-func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan) (*Result, error) {
+func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache *sampling.ValidationCache) (*Result, error) {
 	if !r.Cat.HasSamples() {
 		return nil, fmt.Errorf("core: catalog has no samples; call BuildSamples before re-optimizing")
+	}
+	if cache == nil {
+		cache = sampling.NewValidationCache()
 	}
 	gamma := optimizer.NewGamma()
 	res := &Result{Gamma: gamma}
 
 	// Round 1: validate the seed plan.
-	if err := r.validateInto(q, p1, gamma, res, nil, nil); err != nil {
+	if err := r.validateInto(q, p1, gamma, res, nil, nil, cache); err != nil {
 		return nil, err
 	}
 	prev := p1
@@ -118,7 +126,7 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan) (*Result, er
 			res.Converged = true
 			break
 		}
-		if err := r.validateInto(q, p, gamma, res, prev, trees); err != nil {
+		if err := r.validateInto(q, p, gamma, res, prev, trees, cache); err != nil {
 			return nil, err
 		}
 		if !seen[p.Fingerprint()] {
@@ -137,13 +145,13 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan) (*Result, er
 
 // validateInto validates p over samples, merges Δ into gamma, and
 // appends the round record.
-func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree) error {
+func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree, cache *sampling.ValidationCache) error {
 	round := Round{
 		Plan:              p,
 		Transform:         plan.Classify(prev, p),
 		CoveredByPrevious: plan.Covered(plan.TreeOf(p), trees),
 	}
-	est, err := estimatePlanFn(p, r.Cat)
+	est, err := estimatePlanFn(p, r.Cat, cache)
 	if err != nil {
 		return err
 	}

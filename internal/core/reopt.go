@@ -111,6 +111,12 @@ func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
 	gamma := optimizer.NewGamma()
 	res := &Result{Gamma: gamma}
 
+	// Cross-round validation cache: successive plans share most of their
+	// join subtrees, so later rounds reuse earlier rounds' sample counts
+	// and build-side hash tables instead of re-running the skeleton from
+	// scratch. The cache is scoped to this query and sample set.
+	cache := sampling.NewValidationCache()
+
 	var prev *plan.Plan
 	var trees []plan.JoinTree
 	seen := map[string]bool{}
@@ -154,7 +160,7 @@ func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
 
 		// Validation (lines 9-10): Δ ← sampling; Γ ← Γ ∪ Δ.
 		t1 := time.Now()
-		est, err := estimatePlanFn(p, r.Cat)
+		est, err := estimatePlanFn(p, r.Cat, cache)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", i, err)
 		}
@@ -251,4 +257,4 @@ func splitKey(key string) []string {
 
 // estimatePlanFn indirects the sampling estimator for failure-injection
 // tests.
-var estimatePlanFn = sampling.EstimatePlan
+var estimatePlanFn = sampling.EstimatePlanCached

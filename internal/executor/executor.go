@@ -193,19 +193,27 @@ type iterator interface {
 	next() (rel.Row, bool)
 }
 
-// counted wraps an iterator to record per-node output counts.
+// counted wraps an iterator to record per-node output counts. Rows are
+// tallied in a local counter and flushed into the NodeRows map when the
+// iterator is exhausted, replacing a map increment per tuple with one
+// map write per node (every operator in Run drains its inputs fully, so
+// exhaustion is always reached).
 type counted struct {
 	inner iterator
 	node  plan.Node
 	res   *Result
+	n     int64
 }
 
 func (c *counted) next() (rel.Row, bool) {
 	row, ok := c.inner.next()
 	if ok {
-		c.res.NodeRows[c.node]++
+		c.n++
+		return row, true
 	}
-	return row, ok
+	c.res.NodeRows[c.node] += c.n
+	c.n = 0
+	return nil, false
 }
 
 func (ex *executor) build(n plan.Node) (iterator, error) {
@@ -456,30 +464,51 @@ func (n *nestLoopIter) next() (rel.Row, bool) {
 
 // --- Hash join ---
 
+// hashGroup is one distinct build-side key within a bucket: rows whose
+// key columns are pairwise Equal. Buckets chain groups so that 64-bit
+// hash collisions degrade to an extra value-equality check, never to a
+// wrong join result.
+type hashGroup struct {
+	key  rel.Row // build row holding the exemplar key values
+	rows []rel.Row
+}
+
 type hashJoinIter struct {
 	left       iterator
 	lidx, ridx []int
 	ctr        *Counters
-	table      map[string][]rel.Row
+	table      map[uint64][]hashGroup
 
 	cur     rel.Row
 	matches []rel.Row
 	matchI  int
 }
 
-func joinKey(row rel.Row, idx []int) string {
-	// Keys are concatenated canonical value strings; sep avoids
-	// ambiguity between multi-column keys.
-	k := ""
-	for _, i := range idx {
-		k += row[i].String() + "\x1f"
+// keysEqual verifies a candidate bucket entry: predicate equality on
+// every key column (the collision check behind the 64-bit hash).
+func keysEqual(l rel.Row, lidx []int, r rel.Row, ridx []int) bool {
+	for k := range lidx {
+		if !l[lidx[k]].Equal(r[ridx[k]]) {
+			return false
+		}
 	}
-	return k
+	return true
+}
+
+// rowHasNull reports whether any key column is NULL; NULL keys never
+// match anything and are dropped on both build and probe sides.
+func rowHasNull(row rel.Row, idx []int) bool {
+	for _, i := range idx {
+		if row[i].IsNull() {
+			return true
+		}
+	}
+	return false
 }
 
 func newHashJoin(left, right iterator, lidx, ridx []int, ctr *Counters) *hashJoinIter {
 	h := &hashJoinIter{left: left, lidx: lidx, ridx: ridx, ctr: ctr,
-		table: make(map[string][]rel.Row)}
+		table: make(map[uint64][]hashGroup)}
 	for {
 		row, ok := right.next()
 		if !ok {
@@ -487,18 +516,23 @@ func newHashJoin(left, right iterator, lidx, ridx []int, ctr *Counters) *hashJoi
 		}
 		ctr.OperatorEvals++
 		ctr.Tuples++
-		hasNull := false
-		for _, i := range ridx {
-			if row[i].IsNull() {
-				hasNull = true
+		if rowHasNull(row, ridx) {
+			continue
+		}
+		hash := rel.HashRow(row, ridx)
+		bucket := h.table[hash]
+		placed := false
+		for gi := range bucket {
+			if keysEqual(bucket[gi].key, ridx, row, ridx) {
+				bucket[gi].rows = append(bucket[gi].rows, row)
+				placed = true
 				break
 			}
 		}
-		if hasNull {
-			continue
+		if !placed {
+			bucket = append(bucket, hashGroup{key: row, rows: []rel.Row{row}})
 		}
-		k := joinKey(row, ridx)
-		h.table[k] = append(h.table[k], row)
+		h.table[hash] = bucket
 	}
 	return h
 }
@@ -515,19 +549,18 @@ func (h *hashJoinIter) next() (rel.Row, bool) {
 			return nil, false
 		}
 		h.ctr.OperatorEvals++
-		hasNull := false
-		for _, i := range h.lidx {
-			if row[i].IsNull() {
-				hasNull = true
-				break
-			}
-		}
-		if hasNull {
+		if rowHasNull(row, h.lidx) {
 			continue
 		}
 		h.cur = row
-		h.matches = h.table[joinKey(row, h.lidx)]
+		h.matches = nil
 		h.matchI = 0
+		for _, g := range h.table[rel.HashRow(row, h.lidx)] {
+			if keysEqual(row, h.lidx, g.key, h.ridx) {
+				h.matches = g.rows
+				break
+			}
+		}
 	}
 }
 
@@ -661,30 +694,52 @@ func (ex *executor) buildAggregate(a *plan.AggregateNode) (iterator, error) {
 		}
 		idx[i] = j
 	}
-	groups := make(map[string]rel.Row) // key -> group key values
-	counts := make(map[string]int64)
-	var order []string // first-seen order for determinism
+	// Groups are bucketed by 64-bit key hash with collision chains;
+	// first-seen order is preserved for deterministic output. Group-by
+	// keys compare with SQL ordering semantics (Compare), under which
+	// NULL equals NULL, so unlike joins NULL keys form a group.
+	type aggGroup struct {
+		keyRow rel.Row
+		count  int64
+	}
+	buckets := make(map[uint64][]*aggGroup)
+	var order []*aggGroup // first-seen order for determinism
 	for {
 		row, ok := child.next()
 		if !ok {
 			break
 		}
 		ex.res.Counters.OperatorEvals++
-		key := joinKey(row, idx)
-		if _, seen := groups[key]; !seen {
+		hash := rel.HashRow(row, idx)
+		var g *aggGroup
+		for _, cand := range buckets[hash] {
+			same := true
+			for i, j := range idx {
+				if cand.keyRow[i].Compare(row[j]) != 0 {
+					same = false
+					break
+				}
+			}
+			if same {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
 			keyRow := make(rel.Row, len(idx))
 			for i, j := range idx {
 				keyRow[i] = row[j]
 			}
-			groups[key] = keyRow
-			order = append(order, key)
+			g = &aggGroup{keyRow: keyRow}
+			buckets[hash] = append(buckets[hash], g)
+			order = append(order, g)
 		}
-		counts[key]++
+		g.count++
 	}
 	out := make([]rel.Row, 0, len(order))
-	for _, key := range order {
+	for _, g := range order {
 		ex.res.Counters.Tuples++
-		out = append(out, append(groups[key].Clone(), rel.Int(counts[key])))
+		out = append(out, append(g.keyRow.Clone(), rel.Int(g.count)))
 	}
 	return &hashAggIter{out: out}, nil
 }

@@ -1,0 +1,498 @@
+package executor
+
+// Count-only fast path for sample-skeleton validation.
+//
+// The sampling estimator (Algorithm 1's GetCardinalityEstimatesBySampling)
+// only needs the output *count* of every node of a skeleton made of
+// sequential scans and hash joins. Running that through the general
+// Volcano executor pays for work the counts never use: a full Concat row
+// allocation per join output, string-concatenated join keys, and a
+// NodeRows map increment per tuple. CountSkeleton instead evaluates the
+// skeleton bottom-up over column-major sub-results that carry only each
+// subtree's *boundary columns* — the columns referenced by query join
+// predicates that cross the subtree's relation set, i.e. exactly what any
+// ancestor join can ever probe — and joins them with collision-checked
+// 64-bit hashes.
+//
+// Because boundary columns are derived from the query rather than the
+// plan, a sub-result is valid for every join order that contains the same
+// logical subtree. SkeletonCache exploits that across validation rounds:
+// Algorithm 1's successive plans overwhelmingly share join subtrees
+// (local transformations change only operators; global ones still keep
+// most of the tree), so later rounds reuse earlier rounds' sub-results
+// and build-side hash tables instead of re-executing them.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+	"reopt/internal/storage"
+)
+
+// ErrSkeletonUnsupported marks a plan shape outside the count-only
+// engine's contract (a node that is not a scan/equi-join, or join
+// predicates not drawn from the query's join list, as hand-built test
+// plans sometimes do). Callers fall back to the general executor on
+// this error — and only on this error, so genuine engine failures stay
+// visible instead of silently degrading every validation to the slow
+// path.
+var ErrSkeletonUnsupported = errors.New("plan shape unsupported by count skeleton")
+
+// SkeletonCache carries validation work across rounds of one
+// re-optimization. Entries are keyed by the canonical relation set plus
+// the predicate signature of the subtree, so two plans' subtrees share an
+// entry exactly when they compute the same logical sub-result.
+type SkeletonCache struct {
+	subs   map[string]*subResult
+	tables map[string]map[uint64][]int32
+}
+
+// NewSkeletonCache returns an empty cache.
+func NewSkeletonCache() *SkeletonCache {
+	return &SkeletonCache{
+		subs:   make(map[string]*subResult),
+		tables: make(map[string]map[uint64][]int32),
+	}
+}
+
+// Len returns the number of cached sub-results (diagnostics).
+func (c *SkeletonCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.subs)
+}
+
+// subResult is a materialized subtree: its output count and the boundary
+// columns, stored column-major.
+type subResult struct {
+	sig   string
+	count int
+	refs  []sql.ColRef
+	cols  [][]rel.Value
+}
+
+// CountSkeleton computes the per-node output counts of a count-only
+// skeleton (sequential scans and equi-joins; any other node shape is an
+// error, and callers fall back to the general executor). binder resolves
+// a catalog table name to the table to scan — the sampling layer binds
+// samples. cache may be nil.
+func CountSkeleton(p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache) (map[plan.Node]int64, error) {
+	e := &skelEngine{
+		q:      p.Query,
+		binder: binder,
+		cache:  cache,
+		counts: make(map[plan.Node]int64),
+	}
+	if _, err := e.eval(p.Root); err != nil {
+		return nil, err
+	}
+	return e.counts, nil
+}
+
+type skelEngine struct {
+	q      *sql.Query
+	binder func(string) (*storage.Table, error)
+	cache  *SkeletonCache
+	counts map[plan.Node]int64
+}
+
+func (e *skelEngine) eval(n plan.Node) (*subResult, error) {
+	var sub *subResult
+	var err error
+	switch t := n.(type) {
+	case *plan.ScanNode:
+		sub, err = e.evalScan(t)
+	case *plan.JoinNode:
+		sub, err = e.evalJoin(t)
+	default:
+		err = fmt.Errorf("executor: cannot evaluate %T: %w", n, ErrSkeletonUnsupported)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.counts[n] = int64(sub.count)
+	return sub, nil
+}
+
+// subtreeSig canonically identifies the logical sub-result a subtree
+// computes: its relation set plus every predicate applied within it
+// (scan filters and join predicates), order-insensitively. Join-order
+// permutations of the same logical subtree produce the same signature,
+// because each query predicate is applied exactly once inside it.
+func subtreeSig(n plan.Node) string {
+	var toks []string
+	plan.Walk(n, func(m plan.Node) {
+		switch t := m.(type) {
+		case *plan.ScanNode:
+			toks = append(toks, "T:"+t.Alias+"="+t.Table)
+			for _, f := range t.Filters {
+				toks = append(toks, "F:"+f.String())
+			}
+		case *plan.JoinNode:
+			for _, p := range t.Preds {
+				toks = append(toks, "J:"+p.Canonical().String())
+			}
+		}
+	})
+	sort.Strings(toks)
+	return plan.CanonicalSet(n.Aliases()) + "||" + strings.Join(toks, "&")
+}
+
+// boundaryFor returns, for a relation set, the columns any ancestor join
+// can reference: the set-side columns of query join predicates with
+// exactly one endpoint inside the set. The result depends only on the
+// query, never on the plan, which is what makes sub-results reusable
+// across join orders.
+func (e *skelEngine) boundaryFor(aliases []string) []sql.ColRef {
+	in := make(map[string]bool, len(aliases))
+	for _, a := range aliases {
+		in[a] = true
+	}
+	seen := map[sql.ColRef]bool{}
+	var out []sql.ColRef
+	for _, p := range e.q.Joins {
+		li, ri := in[p.Left.Table], in[p.Right.Table]
+		if li == ri {
+			continue // internal or fully external predicate
+		}
+		c := p.Left
+		if ri {
+			c = p.Right
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
+func findRef(refs []sql.ColRef, c sql.ColRef) int {
+	for i, r := range refs {
+		if r == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Leaf scans ---
+
+func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
+	sig := subtreeSig(t)
+	if e.cache != nil {
+		if sub, ok := e.cache.subs[sig]; ok {
+			return sub, nil
+		}
+	}
+	tab, err := e.binder(t.Table)
+	if err != nil {
+		return nil, err
+	}
+	cs := tab.ColData()
+	n := cs.NumRows()
+
+	// Selection vector over the columnar sample: each filter refines the
+	// surviving row ids with a typed loop.
+	var sel []int32
+	for fi, f := range t.Filters {
+		pos, err := t.OutSchema.IndexOf(f.Col.Table, f.Col.Column)
+		if err != nil {
+			return nil, err
+		}
+		pred := colPredicate(cs.Col(pos), f)
+		if fi == 0 {
+			sel = make([]int32, 0, n)
+			for i := 0; i < n; i++ {
+				if pred(i) {
+					sel = append(sel, int32(i))
+				}
+			}
+			continue
+		}
+		kept := sel[:0]
+		for _, i := range sel {
+			if pred(int(i)) {
+				kept = append(kept, i)
+			}
+		}
+		sel = kept
+	}
+	if len(t.Filters) == 0 {
+		sel = make([]int32, n)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+	}
+
+	refs := e.boundaryFor([]string{t.Alias})
+	cols := make([][]rel.Value, len(refs))
+	for k, ref := range refs {
+		pos, err := t.OutSchema.IndexOf(ref.Table, ref.Column)
+		if err != nil {
+			return nil, err
+		}
+		col := cs.Col(pos)
+		vec := make([]rel.Value, len(sel))
+		for x, i := range sel {
+			vec[x] = col.Value(int(i))
+		}
+		cols[k] = vec
+	}
+	sub := &subResult{sig: sig, count: len(sel), refs: refs, cols: cols}
+	if e.cache != nil {
+		e.cache.subs[sig] = sub
+	}
+	return sub, nil
+}
+
+// colPredicate compiles a local predicate against one column into a
+// per-row test. Fast paths cover the uniform-kind combinations with
+// comparison semantics identical to sql.EvalSelection; everything else
+// (NULL constants, mixed-kind columns, string/numeric comparisons) falls
+// back to the row-wise evaluator.
+func colPredicate(col *storage.ColData, f sql.Selection) func(int) bool {
+	fallback := func(i int) bool { return sql.EvalSelection(col.Value(i), f) }
+	if f.Value.IsNull() || (f.Op == sql.OpBetween && f.Value2.IsNull()) {
+		return fallback
+	}
+	cmp := colCompare(col, f.Value)
+	if cmp == nil {
+		return fallback
+	}
+	var cmp2 func(int) int
+	if f.Op == sql.OpBetween {
+		if cmp2 = colCompare(col, f.Value2); cmp2 == nil {
+			return fallback
+		}
+	}
+	nulls := col.Nulls
+	op := f.Op
+	return func(i int) bool {
+		if nulls != nil && nulls[i] {
+			return false // NULL never matches
+		}
+		c := cmp(i)
+		switch op {
+		case sql.OpEq:
+			return c == 0
+		case sql.OpNe:
+			return c != 0
+		case sql.OpLt:
+			return c < 0
+		case sql.OpLe:
+			return c <= 0
+		case sql.OpGt:
+			return c > 0
+		case sql.OpGe:
+			return c >= 0
+		case sql.OpBetween:
+			return c >= 0 && cmp2(i) <= 0
+		default:
+			return false
+		}
+	}
+}
+
+// colCompare returns a function comparing row i's (non-null) value to the
+// constant with rel.Value.Compare semantics, or nil when no typed fast
+// path applies.
+func colCompare(col *storage.ColData, c rel.Value) func(int) int {
+	switch col.Kind {
+	case rel.KindInt:
+		ints := col.Ints
+		switch c.Kind() {
+		case rel.KindInt:
+			ci := c.AsInt()
+			return func(i int) int {
+				v := ints[i]
+				switch {
+				case v < ci:
+					return -1
+				case v > ci:
+					return 1
+				default:
+					return 0
+				}
+			}
+		case rel.KindFloat:
+			cf := c.AsFloat()
+			return func(i int) int { return cmpF(float64(ints[i]), cf) }
+		}
+	case rel.KindFloat:
+		floats := col.Floats
+		if c.Kind() == rel.KindInt || c.Kind() == rel.KindFloat {
+			cf := c.AsFloat()
+			return func(i int) int { return cmpF(floats[i], cf) }
+		}
+	case rel.KindString:
+		strs := col.Strs
+		if c.Kind() == rel.KindString {
+			cstr := c.AsString()
+			return func(i int) int { return strings.Compare(strs[i], cstr) }
+		}
+	}
+	return nil
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// --- Joins ---
+
+func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
+	// Children are evaluated (or served from cache) first so that every
+	// node of the current plan gets a count, even under a subtree cache
+	// hit at this level.
+	l, err := e.eval(t.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.eval(t.Right)
+	if err != nil {
+		return nil, err
+	}
+	sig := subtreeSig(t)
+	if e.cache != nil {
+		if sub, ok := e.cache.subs[sig]; ok {
+			return sub, nil
+		}
+	}
+
+	// Key columns in canonical predicate order, so the build-side hash
+	// table is reusable regardless of how a plan happens to list the
+	// predicates.
+	preds := append([]sql.JoinPred(nil), t.Preds...)
+	sort.Slice(preds, func(i, j int) bool {
+		return preds[i].Canonical().String() < preds[j].Canonical().String()
+	})
+	lkey := make([]int, len(preds))
+	rkey := make([]int, len(preds))
+	for k, p := range preds {
+		li, ri := findRef(l.refs, p.Left), findRef(r.refs, p.Right)
+		if li < 0 || ri < 0 {
+			li, ri = findRef(l.refs, p.Right), findRef(r.refs, p.Left)
+		}
+		if li < 0 || ri < 0 {
+			return nil, fmt.Errorf("executor: cannot resolve join predicate %s: %w", p, ErrSkeletonUnsupported)
+		}
+		lkey[k], rkey[k] = li, ri
+	}
+
+	// Build (or reuse) the hash table over the right side's key columns.
+	var table map[uint64][]int32
+	tkey := ""
+	if e.cache != nil {
+		var sb strings.Builder
+		sb.WriteString(r.sig)
+		sb.WriteString("||K:")
+		for _, p := range preds {
+			sb.WriteString(p.Canonical().String())
+			sb.WriteByte('&')
+		}
+		tkey = sb.String()
+		table = e.cache.tables[tkey]
+	}
+	if table == nil {
+		table = make(map[uint64][]int32)
+		for j := 0; j < r.count; j++ {
+			h, null := hashKeyAt(r.cols, rkey, j)
+			if null {
+				continue // NULL keys never match
+			}
+			table[h] = append(table[h], int32(j))
+		}
+		if e.cache != nil {
+			e.cache.tables[tkey] = table
+		}
+	}
+
+	// Gather plan for the output boundary columns.
+	outRefs := e.boundaryFor(t.Aliases())
+	type src struct {
+		left bool
+		idx  int
+	}
+	gather := make([]src, len(outRefs))
+	for k, ref := range outRefs {
+		if li := findRef(l.refs, ref); li >= 0 {
+			gather[k] = src{left: true, idx: li}
+			continue
+		}
+		ri := findRef(r.refs, ref)
+		if ri < 0 {
+			return nil, fmt.Errorf("executor: missing boundary column %s: %w", ref, ErrSkeletonUnsupported)
+		}
+		gather[k] = src{left: false, idx: ri}
+	}
+
+	outCols := make([][]rel.Value, len(outRefs))
+	count := 0
+	for i := 0; i < l.count; i++ {
+		h, null := hashKeyAt(l.cols, lkey, i)
+		if null {
+			continue
+		}
+		for _, j32 := range table[h] {
+			j := int(j32)
+			ok := true
+			for k := range lkey {
+				// Bucket-level collision check: hash equality is only a
+				// candidate; value equality decides.
+				if !l.cols[lkey[k]][i].Equal(r.cols[rkey[k]][j]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			count++
+			for k, g := range gather {
+				if g.left {
+					outCols[k] = append(outCols[k], l.cols[g.idx][i])
+				} else {
+					outCols[k] = append(outCols[k], r.cols[g.idx][j])
+				}
+			}
+		}
+	}
+	sub := &subResult{sig: sig, count: count, refs: outRefs, cols: outCols}
+	if e.cache != nil {
+		e.cache.subs[sig] = sub
+	}
+	return sub, nil
+}
+
+// hashKeyAt hashes row i's key columns, reporting whether any is NULL.
+func hashKeyAt(cols [][]rel.Value, key []int, i int) (uint64, bool) {
+	h := rel.HashSeed
+	for _, ci := range key {
+		v := cols[ci][i]
+		if v.IsNull() {
+			return 0, true
+		}
+		h = v.Hash64(h)
+	}
+	return h, false
+}

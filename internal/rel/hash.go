@@ -1,0 +1,97 @@
+package rel
+
+import "math"
+
+// 64-bit FNV-1a hashing of values, used for hash-join buckets and
+// group-by tables. Hashing agrees with Equal: values for which Equal
+// returns true produce the same hash (in particular an integer and a
+// float holding the same number), so a hash table bucketed by Hash64
+// only needs an Equal check to reject collisions, never a re-hash.
+//
+// Caveat: the agreement holds on the float64-exact integer domain
+// (|v| < 2^53) and for non-NaN floats. Beyond 2^53, Equal itself is
+// lossy — it compares through float64, making equality non-transitive
+// (Int(2^53) "equals" both Int(2^53+1) and Float(2^53) which are
+// unequal) — so no hash can be consistent with it there; and cmpFloat
+// makes Equal(Float(NaN), x) true for every numeric x, which likewise
+// admits no consistent hash, so NaN hashes by its bit pattern. In both
+// cases hashed operators may miss matches that Equal would accept —
+// exactly as the previous String()-keyed hash join did ("NaN" and large
+// numbers rendered distinctly), so join behavior is unchanged from the
+// seed; only nested-loop joins, which probe with Equal directly, ever
+// disagreed, and they disagreed before too.
+
+const (
+	// HashSeed is the FNV-1a offset basis; start every row hash here.
+	HashSeed uint64 = 14695981039346656037
+	fnvPrime uint64 = 1099511628211
+)
+
+// kind tags mixed into the hash so that, say, Int(0) and String_("")
+// cannot collide structurally across columns of a multi-column key.
+const (
+	tagNull   byte = 0xA0
+	tagNum    byte = 0xA1
+	tagFloat  byte = 0xA2
+	tagString byte = 0xA3
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func fnvUint64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v))
+		v >>= 8
+	}
+	return h
+}
+
+// HashInt64 folds an integer payload into h with the numeric tag,
+// without requiring a constructed Value.
+func HashInt64(h uint64, v int64) uint64 {
+	return fnvUint64(fnvByte(h, tagNum), uint64(v))
+}
+
+// HashFloat64 folds a float payload into h, agreeing with HashInt64 for
+// floats that hold exact integers (cross-kind equality, cf. Equal).
+func HashFloat64(h uint64, f float64) uint64 {
+	if i := int64(f); float64(i) == f {
+		return HashInt64(h, i)
+	}
+	return fnvUint64(fnvByte(h, tagFloat), math.Float64bits(f))
+}
+
+// HashString folds a string payload into h.
+func HashString(h uint64, s string) uint64 {
+	h = fnvByte(h, tagString)
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// Hash64 folds the value into the running FNV-1a state h.
+func (v Value) Hash64(h uint64) uint64 {
+	switch v.kind {
+	case KindInt:
+		return HashInt64(h, v.i)
+	case KindFloat:
+		return HashFloat64(h, v.f)
+	case KindString:
+		return HashString(h, v.s)
+	default:
+		return fnvByte(h, tagNull)
+	}
+}
+
+// HashRow hashes the row's values at positions idx, in order, starting
+// from HashSeed — the multi-column join/group key hash.
+func HashRow(row Row, idx []int) uint64 {
+	h := HashSeed
+	for _, i := range idx {
+		h = row[i].Hash64(h)
+	}
+	return h
+}

@@ -1,0 +1,139 @@
+package sampling
+
+import (
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/sql"
+	"reopt/internal/workload/ott"
+	"reopt/internal/workload/tpch"
+)
+
+// TestFastPathMatchesVolcano: the count-only skeleton engine must
+// produce estimates identical to the general Volcano executor — same
+// Delta, same SampleRows, key for key — on real workloads, both with a
+// fresh cache and with a cache warmed by earlier plans of the same
+// query workload.
+func TestFastPathMatchesVolcano(t *testing.T) {
+	ottCat, err := ott.Generate(ott.Config{Seed: 5, RowsPerValue: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ottQs, err := ott.Queries(ottCat, ott.QueryConfig{NumTables: 5, SameConstant: 4, Count: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tpchCat, err := tpch.Generate(tpch.Config{Customers: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tpchQs []*sql.Query
+	for _, id := range tpch.QueryIDs() {
+		qs, err := tpch.Instances(tpchCat, id, 1, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpchQs = append(tpchQs, qs...)
+	}
+
+	for _, tc := range []struct {
+		name string
+		cat  *catalog.Catalog
+		qs   []*sql.Query
+	}{
+		{"ott", ottCat, ottQs},
+		{"tpch", tpchCat, tpchQs},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := optimizer.New(tc.cat, optimizer.DefaultConfig())
+			cache := NewValidationCache()
+			for qi, q := range tc.qs {
+				p, err := opt.Optimize(q, nil)
+				if err != nil {
+					t.Fatalf("query %d: %v", qi, err)
+				}
+				fastFresh, err := EstimatePlan(p, tc.cat)
+				if err != nil {
+					t.Fatalf("query %d fast: %v", qi, err)
+				}
+				fastCached, err := EstimatePlanCached(p, tc.cat, cache)
+				if err != nil {
+					t.Fatalf("query %d cached: %v", qi, err)
+				}
+				useFastPath = false
+				slow, err := EstimatePlan(p, tc.cat)
+				useFastPath = true
+				if err != nil {
+					t.Fatalf("query %d volcano: %v", qi, err)
+				}
+				compareEstimates(t, tc.name, qi, "fresh", fastFresh, slow)
+				compareEstimates(t, tc.name, qi, "cached", fastCached, slow)
+				// A second cached run must serve everything from cache and
+				// still agree (cross-round reuse correctness).
+				again, err := EstimatePlanCached(p, tc.cat, cache)
+				if err != nil {
+					t.Fatalf("query %d recached: %v", qi, err)
+				}
+				compareEstimates(t, tc.name, qi, "recached", again, slow)
+			}
+			if cache.Len() == 0 {
+				t.Error("validation cache recorded nothing")
+			}
+		})
+	}
+}
+
+// TestFastPathFallsBackOnUnsupportedShape: a hand-built plan whose join
+// predicates are not drawn from Query.Joins is outside the count
+// engine's contract; EstimatePlan must still succeed via the Volcano
+// fallback rather than erroring.
+func TestFastPathFallsBackOnUnsupportedShape(t *testing.T) {
+	ottCat, err := ott.Generate(ott.Config{Seed: 5, RowsPerValue: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ottQs, err := ott.Queries(ottCat, ott.QueryConfig{NumTables: 2, SameConstant: 2, Count: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(ottCat, optimizer.DefaultConfig())
+	p, err := opt.Optimize(ottQs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the query's join list: boundary-column analysis now finds no
+	// key columns and the engine reports its unsupported-shape error.
+	stripped := *ottQs[0]
+	stripped.Joins = nil
+	fallback := &plan.Plan{Root: p.Root, Query: &stripped}
+	est, err := EstimatePlan(fallback, ottCat)
+	if err != nil {
+		t.Fatalf("fallback path: %v", err)
+	}
+	if len(est.Delta) == 0 {
+		t.Error("fallback produced an empty estimate")
+	}
+}
+
+func compareEstimates(t *testing.T, workload string, qi int, mode string, fast, slow *Estimate) {
+	t.Helper()
+	if len(fast.Delta) != len(slow.Delta) {
+		t.Errorf("%s query %d (%s): fast path has %d Delta keys, volcano %d",
+			workload, qi, mode, len(fast.Delta), len(slow.Delta))
+	}
+	for k, v := range slow.Delta {
+		if fv, ok := fast.Delta[k]; !ok || fv != v {
+			t.Errorf("%s query %d (%s): Delta[%q] fast=%v volcano=%v",
+				workload, qi, mode, k, fast.Delta[k], v)
+		}
+	}
+	for k, v := range slow.SampleRows {
+		if fv, ok := fast.SampleRows[k]; !ok || fv != v {
+			t.Errorf("%s query %d (%s): SampleRows[%q] fast=%v volcano=%v",
+				workload, qi, mode, k, fast.SampleRows[k], v)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package sampling
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -32,22 +33,46 @@ type Estimate struct {
 	Duration time.Duration
 }
 
+// ValidationCache carries skeleton sub-results and build-side hash
+// tables across the validation rounds of one re-optimization, so a round
+// whose plan shares join subtrees with previously validated plans reuses
+// their sample counts instead of re-executing them. A cache must only be
+// shared between validations of the same query over the same samples.
+type ValidationCache struct {
+	skel *executor.SkeletonCache
+}
+
+// NewValidationCache returns an empty cache.
+func NewValidationCache() *ValidationCache {
+	return &ValidationCache{skel: executor.NewSkeletonCache()}
+}
+
+// Len returns the number of cached subtree results (diagnostics).
+func (c *ValidationCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.skel.Len()
+}
+
 // EstimatePlan validates p's join skeleton over the catalog's samples.
 // The skeleton keeps the plan's join tree and all predicates but swaps
 // every physical choice for sample-friendly ones (sequential scans and
 // hash joins); physical choice does not affect cardinality, and samples
 // carry no indexes.
 func EstimatePlan(p *plan.Plan, cat *catalog.Catalog) (*Estimate, error) {
+	return EstimatePlanCached(p, cat, nil)
+}
+
+// EstimatePlanCached is EstimatePlan with an optional cross-round cache.
+func EstimatePlanCached(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCache) (*Estimate, error) {
 	if !cat.HasSamples() {
 		return nil, fmt.Errorf("sampling: catalog has no samples (call BuildSamples)")
 	}
 	start := time.Now()
 	skeleton := rewrite(p.Root)
 	sp := &plan.Plan{Root: skeleton, Query: p.Query}
-	res, err := executor.Run(sp, cat, executor.Options{
-		CountOnly: true,
-		Binder:    cat.Sample,
-	})
+	nodeRows, err := skeletonCounts(sp, cat, cache)
 	if err != nil {
 		return nil, fmt.Errorf("sampling: skeleton run: %w", err)
 	}
@@ -81,7 +106,7 @@ func EstimatePlan(p *plan.Plan, cat *catalog.Catalog) (*Estimate, error) {
 	plan.Walk(skeleton, func(n plan.Node) {
 		aliases := n.Aliases()
 		key := optimizer.GammaKeyFor(aliases)
-		count := res.NodeRows[n]
+		count := nodeRows[n]
 		scaleProd := 1.0
 		for _, a := range aliases {
 			scaleProd *= scale[a]
@@ -103,6 +128,41 @@ func EstimatePlan(p *plan.Plan, cat *catalog.Catalog) (*Estimate, error) {
 	})
 	est.Duration = time.Since(start)
 	return est, nil
+}
+
+// useFastPath gates the count-only skeleton engine; equivalence tests
+// flip it to compare the fast path against the general executor.
+var useFastPath = true
+
+// skeletonCounts runs the count-only fast path over the samples, falling
+// back to the general Volcano executor for plan shapes the fast path
+// does not cover (it covers everything sampling.rewrite emits; the
+// fallback keeps external callers with hand-built plans working). Only
+// the explicit unsupported-shape error triggers the fallback — any other
+// engine failure propagates rather than silently degrading every
+// validation to the slow path.
+func skeletonCounts(sp *plan.Plan, cat *catalog.Catalog, cache *ValidationCache) (map[plan.Node]int64, error) {
+	if useFastPath {
+		var skel *executor.SkeletonCache
+		if cache != nil {
+			skel = cache.skel
+		}
+		counts, err := executor.CountSkeleton(sp, cat.Sample, skel)
+		if err == nil {
+			return counts, nil
+		}
+		if !errors.Is(err, executor.ErrSkeletonUnsupported) {
+			return nil, err
+		}
+	}
+	res, rerr := executor.Run(sp, cat, executor.Options{
+		CountOnly: true,
+		Binder:    cat.Sample,
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	return res.NodeRows, nil
 }
 
 // rewrite converts a physical plan into its sample-execution skeleton.

@@ -1,0 +1,132 @@
+package storage
+
+import "reopt/internal/rel"
+
+// ColStore is a column-major projection of a table: each column whose
+// non-null values share one kind is stored as a typed slice ([]int64,
+// []float64, or []string), so predicate evaluation and key hashing over
+// it run as tight typed loops with no per-row Value construction. It is
+// the storage format the count-only sample-skeleton engine scans;
+// samples are immutable once built, so the projection is computed once
+// and cached on the table.
+type ColStore struct {
+	numRows int
+	cols    []ColData
+}
+
+// ColData holds one column. Exactly one of the typed slices is populated
+// when Kind is a scalar kind; Vals is the row-major fallback for columns
+// that mix kinds (Kind == KindNull), which keeps the engine total.
+type ColData struct {
+	// Kind is the uniform kind of the column's non-null values, or
+	// KindNull when the column mixes kinds and Vals must be used.
+	Kind   rel.Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	// Nulls marks NULL positions (typed slices hold zero values there);
+	// nil when the column has no NULLs.
+	Nulls []bool
+	// Vals is set only for mixed-kind columns.
+	Vals []rel.Value
+}
+
+// IsNull reports whether row i of the column is NULL.
+func (c *ColData) IsNull(i int) bool {
+	if c.Kind == rel.KindNull {
+		return c.Vals[i].IsNull()
+	}
+	return c.Nulls != nil && c.Nulls[i]
+}
+
+// Value reconstructs the Value at row i.
+func (c *ColData) Value(i int) rel.Value {
+	if c.IsNull(i) {
+		return rel.Null
+	}
+	switch c.Kind {
+	case rel.KindInt:
+		return rel.Int(c.Ints[i])
+	case rel.KindFloat:
+		return rel.Float(c.Floats[i])
+	case rel.KindString:
+		return rel.String_(c.Strs[i])
+	default:
+		return c.Vals[i]
+	}
+}
+
+// NumRows returns the row count.
+func (cs *ColStore) NumRows() int { return cs.numRows }
+
+// Col returns the column at schema position pos.
+func (cs *ColStore) Col(pos int) *ColData { return &cs.cols[pos] }
+
+// BuildColStore computes the column-major projection of a table.
+func BuildColStore(t *Table) *ColStore {
+	n := t.NumRows()
+	width := t.Schema().Len()
+	cs := &ColStore{numRows: n, cols: make([]ColData, width)}
+	for pos := 0; pos < width; pos++ {
+		// One pass to find the uniform non-null kind, if any.
+		kind := rel.KindNull
+		mixed := false
+		hasNull := false
+		for _, row := range t.Rows() {
+			v := row[pos]
+			if v.IsNull() {
+				hasNull = true
+				continue
+			}
+			if kind == rel.KindNull {
+				kind = v.Kind()
+			} else if v.Kind() != kind {
+				mixed = true
+				break
+			}
+		}
+		col := &cs.cols[pos]
+		if mixed {
+			col.Kind = rel.KindNull
+			col.Vals = make([]rel.Value, n)
+			for i, row := range t.Rows() {
+				col.Vals[i] = row[pos]
+			}
+			continue
+		}
+		col.Kind = kind
+		if hasNull {
+			col.Nulls = make([]bool, n)
+		}
+		switch kind {
+		case rel.KindInt:
+			col.Ints = make([]int64, n)
+		case rel.KindFloat:
+			col.Floats = make([]float64, n)
+		case rel.KindString:
+			col.Strs = make([]string, n)
+		default:
+			// All-NULL (or empty) column: Nulls (already allocated when
+			// any row is NULL) plus a zero Ints slice keeps accessors
+			// total.
+			col.Kind = rel.KindInt
+			col.Ints = make([]int64, n)
+		}
+		for i, row := range t.Rows() {
+			v := row[pos]
+			if v.IsNull() {
+				col.Nulls[i] = true
+				continue
+			}
+			switch col.Kind {
+			case rel.KindInt:
+				col.Ints[i] = v.AsInt()
+			case rel.KindFloat:
+				col.Floats[i] = v.AsFloat()
+			case rel.KindString:
+				col.Strs[i] = v.AsString()
+			}
+		}
+	}
+	return cs
+}

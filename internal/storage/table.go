@@ -23,6 +23,7 @@ type Table struct {
 	rows        []rel.Row
 	indexes     map[string]*Index
 	rowsPerPage int
+	colData     *ColStore // lazy column-major projection; nil until built
 }
 
 // NewTable creates an empty table. Column Table attributions in the
@@ -79,6 +80,7 @@ func (t *Table) Append(row rel.Row) error {
 	}
 	id := len(t.rows)
 	t.rows = append(t.rows, row)
+	t.colData = nil // invalidate the column-major projection
 	for _, idx := range t.indexes {
 		idx.insert(row[idx.colPos], id)
 	}
@@ -98,6 +100,16 @@ func (t *Table) Row(id int) rel.Row { return t.rows[id] }
 
 // Rows returns the underlying row slice for read-only scans.
 func (t *Table) Rows() []rel.Row { return t.rows }
+
+// ColData returns the table's column-major projection, building it on
+// first use and caching it until the next Append. Callers must treat the
+// result as immutable.
+func (t *Table) ColData() *ColStore {
+	if t.colData == nil {
+		t.colData = BuildColStore(t)
+	}
+	return t.colData
+}
 
 // CreateIndex builds a secondary index on the named column. Creating an
 // index that already exists is an error.
