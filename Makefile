@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test check bench bench-smoke bench-hotpath
+.PHONY: all vet build test race check bench bench-smoke bench-hotpath
 
 all: check
 
@@ -14,6 +14,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race runs the suite under the race detector — the gate for the
+# partitioned-parallel skeleton engine (workers share bitmaps by
+# disjoint word ranges; the detector proves the disjointness claims).
+race:
+	$(GO) test -race ./...
 
 # check is the tier-1 gate: vet, build, full test suite.
 check: vet build test

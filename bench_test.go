@@ -238,6 +238,35 @@ func BenchmarkSamplingEstimatePlan(b *testing.B) {
 	}
 }
 
+// BenchmarkSamplingEstimatePlanWorkers1 is the same hot path pinned to
+// one worker: the vectorized kernels without the parallel fan-out. Its
+// allocs/op is the number to hold flat across PRs (goroutine fan-out
+// legitimately costs a few allocations; sequential execution must not).
+func BenchmarkSamplingEstimatePlanWorkers1(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
+	p, err := opt.Optimize(qs[0], nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reopt.EstimateBySamplingWorkers(p, cat, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHashJoinKeys times a count-only two-table hash join through
 // the general executor, isolating the cost of join-key handling (string
 // concatenation in the seed, collision-checked 64-bit hashes after).
@@ -258,8 +287,8 @@ func BenchmarkHashJoinKeys(b *testing.B) {
 	cat.MustAddTable(l)
 	cat.MustAddTable(r)
 	root := &plan.JoinNode{
-		Kind: plan.HashJoin,
-		Left: &plan.ScanNode{Alias: "l", Table: "l", Access: plan.SeqScan, OutSchema: l.Schema()},
+		Kind:  plan.HashJoin,
+		Left:  &plan.ScanNode{Alias: "l", Table: "l", Access: plan.SeqScan, OutSchema: l.Schema()},
 		Right: &plan.ScanNode{Alias: "r", Table: "r", Access: plan.SeqScan, OutSchema: r.Schema()},
 		Preds: []sql.JoinPred{
 			{Left: sql.ColRef{Table: "l", Column: "k"}, Right: sql.ColRef{Table: "r", Column: "k"}},

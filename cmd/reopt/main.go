@@ -32,15 +32,16 @@ func main() {
 		sqlText = flag.String("sql", "", "SQL query (SPJ dialect); empty picks a demo query")
 		queryID = flag.Int("query", 0, "TPC-H template number (with -db tpch)")
 		analyze = flag.Bool("analyze", false, "print EXPLAIN ANALYZE (estimated vs actual rows)")
+		workers = flag.Int("workers", 0, "validation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze); err != nil {
+	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "reopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool) error {
+func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers int) error {
 	var cat *catalog.Catalog
 	var err error
 	var q *sql.Query
@@ -118,6 +119,7 @@ func run(db string, z float64, seed int64, sqlText string, queryID int, analyze 
 	}
 
 	r := core.New(opt, cat)
+	r.Opts.Workers = workers
 	res, err := r.Reoptimize(q)
 	if err != nil {
 		return err

@@ -27,7 +27,7 @@ func TestCrossRoundCacheGammaIdentical(t *testing.T) {
 		}
 
 		// Ignore the per-run cache: every round re-executes its skeleton.
-		estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, _ *sampling.ValidationCache) (*sampling.Estimate, error) {
+		estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, _ *sampling.ValidationCache, _ int) (*sampling.Estimate, error) {
 			return sampling.EstimatePlan(p, c)
 		}
 		uncached, err := r.Reoptimize(q)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"reopt/internal/optimizer"
 	"reopt/internal/plan"
@@ -20,6 +22,11 @@ func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, err
 	if seeds < 1 {
 		seeds = 1
 	}
+	// Options.Timeout is one budget for the whole multi-seed procedure:
+	// the clock starts before plan generation, every seeded run's rounds
+	// loop checks it, and the seeds loop stops starting new runs once it
+	// is spent (the first run always completes, so a result exists).
+	start := time.Now()
 	initials, err := r.initialPlans(q, seeds)
 	if err != nil {
 		return nil, err
@@ -31,17 +38,23 @@ func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, err
 	var best *Result
 	var bestCost float64
 	for _, p := range initials {
-		res, err := r.reoptimizeFrom(q, p, cache)
+		res, err := r.reoptimizeFrom(q, p, cache, start)
 		if err != nil {
 			return nil, err
 		}
-		rp, err := r.Opt.Recost(q, res.Final, res.Gamma)
-		if err != nil {
-			continue
+		rp, rerr := r.Opt.Recost(q, res.Final, res.Gamma)
+		switch {
+		case rerr == nil && (best == nil || rp.Cost() < bestCost):
+			best, bestCost = res, rp.Cost()
+		case rerr != nil && best == nil:
+			// Recost failed but the run itself completed: keep it at the
+			// worst possible cost (any re-costable later seed replaces
+			// it) so a result always exists and the timeout below can
+			// stop the seeds loop even when every Recost fails.
+			best, bestCost = res, math.Inf(1)
 		}
-		if best == nil || rp.Cost() < bestCost {
-			best = res
-			bestCost = rp.Cost()
+		if r.Opts.Timeout > 0 && time.Since(start) > r.Opts.Timeout {
+			break
 		}
 	}
 	if best == nil {
@@ -84,21 +97,22 @@ func (r *Reoptimizer) initialPlans(q *sql.Query, n int) ([]*plan.Plan, error) {
 // reoptimizeFrom runs Algorithm 1 but uses the supplied plan as P_1
 // instead of the optimizer's first choice: P_1 is validated, its Δ is
 // merged into Γ, and the loop proceeds normally from round 2.
-func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan, cache *sampling.ValidationCache) (*Result, error) {
+func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan, cache *sampling.ValidationCache, start time.Time) (*Result, error) {
 	// Temporarily narrow the optimizer call for round 1 by validating
 	// the provided plan first; Reoptimize then starts from a Γ that
 	// encodes it. If the optimizer's round-1 plan under that Γ equals
 	// the initial plan, the behaviour matches plain Algorithm 1.
 	sub := &Reoptimizer{Opt: r.Opt, Cat: r.Cat, Opts: r.Opts}
-	res, err := sub.reoptimizeSeeded(q, initial, cache)
+	res, err := sub.reoptimizeSeeded(q, initial, cache, start)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// reoptimizeSeeded is Reoptimize with an externally supplied P_1.
-func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache *sampling.ValidationCache) (*Result, error) {
+// reoptimizeSeeded is Reoptimize with an externally supplied P_1. start
+// anchors the Options.Timeout budget (shared across seeded runs).
+func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache *sampling.ValidationCache, start time.Time) (*Result, error) {
 	if !r.Cat.HasSamples() {
 		return nil, fmt.Errorf("core: catalog has no samples; call BuildSamples before re-optimizing")
 	}
@@ -108,8 +122,10 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache *sampl
 	gamma := optimizer.NewGamma()
 	res := &Result{Gamma: gamma}
 
-	// Round 1: validate the seed plan.
-	if err := r.validateInto(q, p1, gamma, res, nil, nil, cache); err != nil {
+	// Round 1: validate the seed plan. There is no optimizer call to
+	// charge — P_1 was handed in — matching Reoptimize, which never
+	// counts round 1's optimization as overhead.
+	if err := r.validateInto(q, p1, gamma, res, nil, nil, cache, 0); err != nil {
 		return nil, err
 	}
 	prev := p1
@@ -118,15 +134,21 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache *sampl
 	res.NumPlans = 1
 
 	for i := 2; ; i++ {
+		t0 := time.Now()
 		p, err := r.Opt.Optimize(q, gamma)
 		if err != nil {
 			return nil, fmt.Errorf("core: seeded round %d: %w", i, err)
 		}
+		optTime := time.Since(t0)
+		// Every optimizer call in this loop is a round >= 2 (including
+		// the terminal one that merely re-produces P_n), so all of them
+		// count toward the overhead, exactly as in Reoptimize.
+		res.ReoptTime += optTime
 		if p.Fingerprint() == prev.Fingerprint() {
 			res.Converged = true
 			break
 		}
-		if err := r.validateInto(q, p, gamma, res, prev, trees, cache); err != nil {
+		if err := r.validateInto(q, p, gamma, res, prev, trees, cache, optTime); err != nil {
 			return nil, err
 		}
 		if !seen[p.Fingerprint()] {
@@ -138,25 +160,33 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache *sampl
 		if r.Opts.MaxRounds > 0 && i >= r.Opts.MaxRounds {
 			break
 		}
+		if r.Opts.Timeout > 0 && time.Since(start) > r.Opts.Timeout {
+			break
+		}
 	}
 	res.Final = r.pickFinal(q, res, prev)
 	return res, nil
 }
 
 // validateInto validates p over samples, merges Δ into gamma, and
-// appends the round record.
-func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree, cache *sampling.ValidationCache) error {
+// appends the round record. optTime is the optimizer time already spent
+// producing p this round (zero for a handed-in seed plan); sampling
+// time is measured as wall time around the estimator call, like
+// Reoptimize, so multi-seed ReoptTime is comparable to single-seed.
+func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree, cache *sampling.ValidationCache, optTime time.Duration) error {
 	round := Round{
 		Plan:              p,
 		Transform:         plan.Classify(prev, p),
 		CoveredByPrevious: plan.Covered(plan.TreeOf(p), trees),
+		OptimizeTime:      optTime,
 	}
-	est, err := estimatePlanFn(p, r.Cat, cache)
+	t1 := time.Now()
+	est, err := estimatePlanFn(p, r.Cat, cache, r.Opts.Workers)
 	if err != nil {
 		return err
 	}
-	round.SamplingTime = est.Duration
-	res.ReoptTime += est.Duration
+	round.SamplingTime = time.Since(t1)
+	res.ReoptTime += round.SamplingTime
 	delta := est.Delta
 	if r.Opts.Conservative {
 		delta = r.blend(q, est)

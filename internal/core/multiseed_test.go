@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"reopt/internal/catalog"
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/sampling"
+)
+
+// TestMultiSeedHonorsTimeout: Options.Timeout must bound the whole
+// multi-seed procedure — both the rounds loop inside each seeded run
+// and the seeds loop itself. With a validation that takes longer than
+// the budget, at most the first seed's first two rounds can validate
+// before every loop observes the exhausted budget and stops.
+func TestMultiSeedHonorsTimeout(t *testing.T) {
+	r, qs := ottSetup(t)
+	orig := estimatePlanFn
+	defer func() { estimatePlanFn = orig }()
+	calls := 0
+	estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, cache *sampling.ValidationCache, workers int) (*sampling.Estimate, error) {
+		calls++
+		time.Sleep(5 * time.Millisecond)
+		return orig(p, c, cache, workers)
+	}
+	r.Opts.Timeout = time.Millisecond
+	res, err := r.ReoptimizeMultiSeed(qs[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final == nil {
+		t.Fatal("timeout run must still return a best-so-far plan")
+	}
+	// Seed 1 validates its P_1, and at most one more round before the
+	// rounds loop sees the spent budget; the seeds loop must then stop
+	// instead of running the remaining seeds.
+	if calls > 2 {
+		t.Errorf("timeout ignored: %d validations ran, want at most 2", calls)
+	}
+}
+
+// TestMultiSeedOverheadAccounting: the seeded path must account
+// overhead exactly like Reoptimize — optimizer time recorded per round
+// (rounds >= 2; the handed-in P_1 cost no optimizer call), sampling
+// time measured as wall time, and ReoptTime covering both plus the
+// terminal optimizer call that detects convergence.
+func TestMultiSeedOverheadAccounting(t *testing.T) {
+	r, qs := ottSetup(t)
+	res, err := r.ReoptimizeMultiSeed(qs[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accounted time.Duration
+	for i, rd := range res.Rounds {
+		if rd.SamplingTime <= 0 {
+			t.Errorf("round %d: SamplingTime not recorded", i+1)
+		}
+		accounted += rd.SamplingTime
+		if i == 0 {
+			if rd.OptimizeTime != 0 {
+				t.Errorf("round 1 is the seed plan; OptimizeTime should be 0, got %v", rd.OptimizeTime)
+			}
+			continue
+		}
+		if rd.OptimizeTime <= 0 {
+			t.Errorf("round %d: OptimizeTime not recorded", i+1)
+		}
+		accounted += rd.OptimizeTime
+	}
+	if res.ReoptTime < accounted {
+		t.Errorf("ReoptTime %v < per-round accounted overhead %v", res.ReoptTime, accounted)
+	}
+	// The loop always ends with an optimizer call (terminal or capped),
+	// so total overhead strictly exceeds the sampling share alone — the
+	// seeded path used to drop optimizer time entirely.
+	var samplingOnly time.Duration
+	for _, rd := range res.Rounds {
+		samplingOnly += rd.SamplingTime
+	}
+	if res.ReoptTime <= samplingOnly {
+		t.Errorf("ReoptTime %v does not include optimizer time (sampling alone is %v)",
+			res.ReoptTime, samplingOnly)
+	}
+}
+
+// TestBlendFavorsHistoryForUnwitnessedSets: conservative blending of a
+// set the sample never witnessed (k=0) must keep a small but non-zero
+// trust in the sampled floor — closer to the optimizer's
+// statistics-based estimate than to the sampled value, yet not equal to
+// pure history (ConfidenceWeight's Laplace-style +1).
+func TestBlendFavorsHistoryForUnwitnessedSets(t *testing.T) {
+	r, qs := ottSetup(t)
+	q := qs[0]
+	aliases := []string{q.Tables[0].Alias}
+	key := optimizer.GammaKeyFor(aliases)
+	hist, err := r.Opt.EstimateCardinality(q, aliases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := hist + 1000
+	est := &sampling.Estimate{
+		Delta:      map[string]float64{key: sampled},
+		SampleRows: map[string]int64{key: 0},
+	}
+	blended := r.blend(q, est)[key]
+	if math.Abs(blended-hist) >= math.Abs(blended-sampled) {
+		t.Errorf("unwitnessed set must blend toward history: hist=%v sampled=%v blended=%v",
+			hist, sampled, blended)
+	}
+	if blended == hist {
+		t.Errorf("unwitnessed set must retain non-zero sampled weight, got pure history %v", hist)
+	}
+}

@@ -44,6 +44,11 @@ type Options struct {
 	// re-optimization at all if the estimated query execution time is
 	// shorter than some threshold"). 0 means always re-optimize.
 	SkipBelowCost float64
+	// Workers bounds the parallelism of each validation's skeleton run
+	// (the partitioned scan/probe loops of the count-only engine): 0
+	// selects GOMAXPROCS, 1 forces sequential execution. Estimates are
+	// byte-identical at every setting.
+	Workers int
 }
 
 // Round records one iteration of Algorithm 1.
@@ -160,7 +165,7 @@ func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
 
 		// Validation (lines 9-10): Δ ← sampling; Γ ← Γ ∪ Δ.
 		t1 := time.Now()
-		est, err := estimatePlanFn(p, r.Cat, cache)
+		est, err := estimatePlanFn(p, r.Cat, cache, r.Opts.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", i, err)
 		}
@@ -257,4 +262,4 @@ func splitKey(key string) []string {
 
 // estimatePlanFn indirects the sampling estimator for failure-injection
 // tests.
-var estimatePlanFn = sampling.EstimatePlanCached
+var estimatePlanFn = sampling.EstimatePlanWorkers

@@ -249,7 +249,7 @@ func TestSamplingFailureInjection(t *testing.T) {
 	orig := estimatePlanFn
 	defer func() { estimatePlanFn = orig }()
 	boom := errors.New("injected sampling failure")
-	estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, cache *sampling.ValidationCache) (*sampling.Estimate, error) {
+	estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, cache *sampling.ValidationCache, _ int) (*sampling.Estimate, error) {
 		return nil, boom
 	}
 	if _, err := r.Reoptimize(qs[0]); !errors.Is(err, boom) {

@@ -14,6 +14,18 @@ package executor
 // ancestor join can ever probe — and joins them with collision-checked
 // 64-bit hashes.
 //
+// The inner loops are vectorized and parallel. Scan filters compile to
+// typed branch-free kernels (internal/vec) that evaluate each predicate
+// over the whole column into a selection bitmap; conjunctive filters
+// fuse by AND-ing bitmaps, and only the final bitmap is materialized
+// into a selection vector. Filter evaluation, boundary-column gathers,
+// and join probe loops are partitioned into contiguous row ranges run
+// across up to GOMAXPROCS goroutines: sub-results and build-side hash
+// tables are read-only by then, workers keep private counters and
+// private output chunks, and the chunks are merged in partition order —
+// so counts and column contents are byte-identical at every worker
+// count.
+//
 // Because boundary columns are derived from the query rather than the
 // plan, a sub-result is valid for every join order that contains the same
 // logical subtree. SkeletonCache exploits that across validation rounds:
@@ -25,22 +37,25 @@ package executor
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"reopt/internal/plan"
 	"reopt/internal/rel"
 	"reopt/internal/sql"
 	"reopt/internal/storage"
+	"reopt/internal/vec"
 )
 
 // ErrSkeletonUnsupported marks a plan shape outside the count-only
-// engine's contract (a node that is not a scan/equi-join, or join
-// predicates not drawn from the query's join list, as hand-built test
-// plans sometimes do). Callers fall back to the general executor on
-// this error — and only on this error, so genuine engine failures stay
-// visible instead of silently degrading every validation to the slow
-// path.
+// engine's contract (a node that is not a scan/equi-join, join
+// predicates not drawn from the query's join list, or scan schemas that
+// do not resolve the query's columns, as hand-built test plans sometimes
+// have). Callers fall back to the general executor on this error — and
+// only on this error, so genuine engine failures stay visible instead of
+// silently degrading every validation to the slow path.
 var ErrSkeletonUnsupported = errors.New("plan shape unsupported by count skeleton")
 
 // SkeletonCache carries validation work across rounds of one
@@ -81,13 +96,27 @@ type subResult struct {
 // skeleton (sequential scans and equi-joins; any other node shape is an
 // error, and callers fall back to the general executor). binder resolves
 // a catalog table name to the table to scan — the sampling layer binds
-// samples. cache may be nil.
+// samples. cache may be nil. Execution parallelism defaults to
+// GOMAXPROCS; use CountSkeletonWorkers to pin it.
 func CountSkeleton(p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache) (map[plan.Node]int64, error) {
+	return CountSkeletonWorkers(p, binder, cache, 0)
+}
+
+// CountSkeletonWorkers is CountSkeleton with an explicit worker count
+// for the partitioned scan/probe loops; workers <= 0 selects
+// runtime.GOMAXPROCS(0). Counts and cached sub-results are
+// deterministic and byte-identical across worker counts: partitions are
+// contiguous row ranges whose private outputs merge in partition order.
+func CountSkeletonWorkers(p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) (map[plan.Node]int64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	e := &skelEngine{
-		q:      p.Query,
-		binder: binder,
-		cache:  cache,
-		counts: make(map[plan.Node]int64),
+		q:       p.Query,
+		binder:  binder,
+		cache:   cache,
+		workers: workers,
+		counts:  make(map[plan.Node]int64),
 	}
 	if _, err := e.eval(p.Root); err != nil {
 		return nil, err
@@ -96,10 +125,61 @@ func CountSkeleton(p *plan.Plan, binder func(string) (*storage.Table, error), ca
 }
 
 type skelEngine struct {
-	q      *sql.Query
-	binder func(string) (*storage.Table, error)
-	cache  *SkeletonCache
-	counts map[plan.Node]int64
+	q       *sql.Query
+	binder  func(string) (*storage.Table, error)
+	cache   *SkeletonCache
+	workers int
+	counts  map[plan.Node]int64
+
+	// Scratch reused across the nodes of one CountSkeleton call. Nodes
+	// evaluate strictly one at a time (parallelism lives *inside* a
+	// node's partitioned loops, which all finish before the node
+	// returns), so a single set of buffers serves the whole tree and
+	// per-scan setup costs zero steady-state allocations.
+	bm, fb  *vec.Bitmap
+	selBuf  []int32
+	passBuf []scanPass
+	posBuf  []int
+	spanBuf []span
+	cntBuf  []int
+	offBuf  []int
+}
+
+// bitmap returns the engine's primary scratch bitmap resized to n rows.
+func (e *skelEngine) bitmap(n int) *vec.Bitmap {
+	if e.bm == nil {
+		e.bm = vec.NewBitmap(n)
+	} else {
+		e.bm.Reset(n)
+	}
+	return e.bm
+}
+
+// scratch returns the secondary bitmap (for non-first conjuncts).
+func (e *skelEngine) scratch(n int) *vec.Bitmap {
+	if e.fb == nil {
+		e.fb = vec.NewBitmap(n)
+	} else {
+		e.fb.Reset(n)
+	}
+	return e.fb
+}
+
+// sel returns the reusable selection buffer with length n. The buffer
+// is only valid until the next scan is evaluated; retained results copy
+// out of it (boundary columns hold values, never row ids).
+func (e *skelEngine) sel(n int) []int32 {
+	if cap(e.selBuf) < n {
+		e.selBuf = make([]int32, n)
+	}
+	return e.selBuf[:n]
+}
+
+func intsBuf(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
 }
 
 func (e *skelEngine) eval(n plan.Node) (*subResult, error) {
@@ -188,6 +268,78 @@ func findRef(refs []sql.ColRef, c sql.ColRef) int {
 	return -1
 }
 
+// --- Partitioned execution ---
+
+// minChunkRows is the smallest per-worker slice of rows worth a
+// goroutine; inputs below 2*minChunkRows run inline on the caller.
+const minChunkRows = 256
+
+// span is one contiguous partition of a row range.
+type span struct{ lo, hi int }
+
+// rowSpans splits [0, n) into at most `workers` contiguous spans of at
+// least minChunkRows rows each (a single span when the input is too
+// small to be worth fanning out). The returned slice aliases the
+// engine's span scratch and is valid until the next rowSpans call —
+// callers finish all span work (including goroutines) before returning.
+func (e *skelEngine) rowSpans(n int) []span {
+	out := e.spanBuf[:0]
+	if n <= 0 {
+		e.spanBuf = append(out, span{0, 0})
+		return e.spanBuf
+	}
+	// Floor division: an input below 2*minChunkRows stays a single span
+	// (run inline), and no span is ever smaller than minChunkRows.
+	parts := e.workers
+	if m := n / minChunkRows; parts > m {
+		parts = m
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	step := (n + parts - 1) / parts
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		out = append(out, span{lo, hi})
+	}
+	e.spanBuf = out
+	return out
+}
+
+// wordSpans is rowSpans with boundaries rounded down to bitmap-word
+// multiples, so workers filling one shared bitmap never touch the same
+// word. Spans stay non-empty because minChunkRows exceeds the word size.
+func (e *skelEngine) wordSpans(n int) []span {
+	spans := e.rowSpans(n)
+	for i := 1; i < len(spans); i++ {
+		aligned := spans[i].lo &^ (vec.WordBits - 1)
+		spans[i-1].hi = aligned
+		spans[i].lo = aligned
+	}
+	return spans
+}
+
+// runSpans executes fn over every span, inline for a single span and on
+// one goroutine per span otherwise.
+func runSpans(spans []span, fn func(part int, s span)) {
+	if len(spans) == 1 {
+		fn(0, spans[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for p := range spans {
+		go func(p int) {
+			defer wg.Done()
+			fn(p, spans[p])
+		}(p)
+	}
+	wg.Wait()
+}
+
 // --- Leaf scans ---
 
 func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
@@ -204,52 +356,54 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 	cs := tab.ColData()
 	n := cs.NumRows()
 
-	// Selection vector over the columnar sample: each filter refines the
-	// surviving row ids with a typed loop.
-	var sel []int32
-	for fi, f := range t.Filters {
+	// Compile every filter into vectorized bitmap passes up front, so
+	// schema-resolution failures surface before any scan work — wrapped
+	// as unsupported, because a scan schema that cannot resolve its own
+	// filter columns is a hand-built shape the general executor may
+	// still know how to run.
+	passes := e.passBuf[:0]
+	for _, f := range t.Filters {
 		pos, err := t.OutSchema.IndexOf(f.Col.Table, f.Col.Column)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("executor: skeleton scan %s: filter column %s: %v: %w",
+				t.Alias, f.Col, err, ErrSkeletonUnsupported)
 		}
-		pred := colPredicate(cs.Col(pos), f)
-		if fi == 0 {
-			sel = make([]int32, 0, n)
-			for i := 0; i < n; i++ {
-				if pred(i) {
-					sel = append(sel, int32(i))
-				}
-			}
-			continue
-		}
-		kept := sel[:0]
-		for _, i := range sel {
-			if pred(int(i)) {
-				kept = append(kept, i)
-			}
-		}
-		sel = kept
+		passes = appendFilterPasses(passes, cs.Col(pos), f)
 	}
-	if len(t.Filters) == 0 {
-		sel = make([]int32, n)
-		for i := range sel {
-			sel[i] = int32(i)
-		}
-	}
-
+	e.passBuf = passes[:0]
 	refs := e.boundaryFor([]string{t.Alias})
-	cols := make([][]rel.Value, len(refs))
+	poss := intsBuf(&e.posBuf, len(refs))
 	for k, ref := range refs {
 		pos, err := t.OutSchema.IndexOf(ref.Table, ref.Column)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("executor: skeleton scan %s: boundary column %s.%s: %v: %w",
+				t.Alias, ref.Table, ref.Column, err, ErrSkeletonUnsupported)
 		}
-		col := cs.Col(pos)
-		vec := make([]rel.Value, len(sel))
-		for x, i := range sel {
-			vec[x] = col.Value(int(i))
+		poss[k] = pos
+	}
+
+	sel := e.selectRows(passes, n)
+
+	// Gather the boundary columns for the surviving rows, partitioned
+	// over the selection vector (each worker writes a disjoint range of
+	// every output column).
+	cols := make([][]rel.Value, len(refs))
+	for k := range refs {
+		cols[k] = make([]rel.Value, len(sel))
+	}
+	if len(refs) > 0 && len(sel) > 0 {
+		// The single-span case is inlined (here and in selectRows /
+		// evalJoin) rather than funneled through runSpans: the closure
+		// argument escapes into runSpans' goroutines, so constructing it
+		// costs a heap allocation even when it would run inline.
+		spans := e.rowSpans(len(sel))
+		if len(spans) == 1 {
+			gatherCols(cs, poss, cols, sel, 0, len(sel))
+		} else {
+			runSpans(spans, func(_ int, s span) {
+				gatherCols(cs, poss, cols, sel, s.lo, s.hi)
+			})
 		}
-		cols[k] = vec
 	}
 	sub := &subResult{sig: sig, count: len(sel), refs: refs, cols: cols}
 	if e.cache != nil {
@@ -258,104 +412,235 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 	return sub, nil
 }
 
-// colPredicate compiles a local predicate against one column into a
-// per-row test. Fast paths cover the uniform-kind combinations with
-// comparison semantics identical to sql.EvalSelection; everything else
-// (NULL constants, mixed-kind columns, string/numeric comparisons) falls
-// back to the row-wise evaluator.
-func colPredicate(col *storage.ColData, f sql.Selection) func(int) bool {
-	fallback := func(i int) bool { return sql.EvalSelection(col.Value(i), f) }
-	if f.Value.IsNull() || (f.Op == sql.OpBetween && f.Value2.IsNull()) {
-		return fallback
-	}
-	cmp := colCompare(col, f.Value)
-	if cmp == nil {
-		return fallback
-	}
-	var cmp2 func(int) int
-	if f.Op == sql.OpBetween {
-		if cmp2 = colCompare(col, f.Value2); cmp2 == nil {
-			return fallback
+// selectRows evaluates the filter passes over the whole column store
+// into a selection bitmap — first pass fills, later passes AND — and
+// materializes the surviving row ids, in ascending order regardless of
+// worker count. Without filters it is the identity vector.
+func (e *skelEngine) selectRows(passes []scanPass, n int) []int32 {
+	if len(passes) == 0 {
+		sel := e.sel(n)
+		spans := e.rowSpans(n)
+		if len(spans) == 1 {
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+		} else {
+			runSpans(spans, func(_ int, s span) {
+				for i := s.lo; i < s.hi; i++ {
+					sel[i] = int32(i)
+				}
+			})
 		}
+		return sel
 	}
-	nulls := col.Nulls
-	op := f.Op
-	return func(i int) bool {
-		if nulls != nil && nulls[i] {
-			return false // NULL never matches
+	bm := e.bitmap(n)
+	var fb *vec.Bitmap
+	if len(passes) > 1 {
+		// Scratch bitmap for the non-first conjuncts; workers write
+		// disjoint word ranges of it, so one scratch serves all spans.
+		fb = e.scratch(n)
+	}
+	spans := e.wordSpans(n)
+	if len(spans) == 1 {
+		passes[0](bm, 0, n)
+		for _, pass := range passes[1:] {
+			pass(fb, 0, n)
+			bm.And(fb, 0, n)
 		}
-		c := cmp(i)
-		switch op {
-		case sql.OpEq:
-			return c == 0
-		case sql.OpNe:
-			return c != 0
-		case sql.OpLt:
-			return c < 0
-		case sql.OpLe:
-			return c <= 0
-		case sql.OpGt:
-			return c > 0
-		case sql.OpGe:
-			return c >= 0
-		case sql.OpBetween:
-			return c >= 0 && cmp2(i) <= 0
-		default:
-			return false
+		count := bm.Count(0, n)
+		return bm.AppendIndices(e.sel(count)[:0], 0, n)
+	}
+	counts := intsBuf(&e.cntBuf, len(spans))
+	runSpans(spans, func(p int, s span) {
+		passes[0](bm, s.lo, s.hi)
+		for _, pass := range passes[1:] {
+			pass(fb, s.lo, s.hi)
+			bm.And(fb, s.lo, s.hi)
+		}
+		counts[p] = bm.Count(s.lo, s.hi)
+	})
+	total := 0
+	offs := intsBuf(&e.offBuf, len(spans))
+	for p, c := range counts {
+		offs[p] = total
+		total += c
+	}
+	sel := e.sel(total)
+	runSpans(spans, func(p int, s span) {
+		if counts[p] > 0 {
+			bm.AppendIndices(sel[offs[p]:offs[p]:offs[p]+counts[p]], s.lo, s.hi)
+		}
+	})
+	return sel
+}
+
+// gatherCols copies the boundary columns' values for rows [lo, hi) of
+// the selection vector into the output columns — the per-span body of
+// the partitioned gather.
+func gatherCols(cs *storage.ColStore, poss []int, cols [][]rel.Value, sel []int32, lo, hi int) {
+	for k, pos := range poss {
+		col := cs.Col(pos)
+		out := cols[k]
+		for x := lo; x < hi; x++ {
+			out[x] = col.Value(int(sel[x]))
 		}
 	}
 }
 
-// colCompare returns a function comparing row i's (non-null) value to the
-// constant with rel.Value.Compare semantics, or nil when no typed fast
-// path applies.
-func colCompare(col *storage.ColData, c rel.Value) func(int) int {
+// scanPass fills rows [lo, hi) of a bitmap with one filter conjunct
+// (predicate AND not-NULL); lo must be word-aligned.
+type scanPass func(dst *vec.Bitmap, lo, hi int)
+
+// appendFilterPasses compiles a local predicate against one column into
+// vectorized bitmap passes appended to dst, with comparison semantics
+// identical to sql.EvalSelection. Uniform-kind columns get branch-free
+// typed kernels (BETWEEN fuses into a single range kernel when both
+// bounds take the same typed path, and otherwise decomposes into Ge AND
+// Le passes); everything else (NULL constants, mixed-kind columns,
+// string/numeric cross-kind comparisons) falls back to a row-wise pass
+// over the same bitmap layout, which keeps the engine total.
+func appendFilterPasses(dst []scanPass, col *storage.ColData, f sql.Selection) []scanPass {
+	if f.Value.IsNull() || (f.Op == sql.OpBetween && f.Value2.IsNull()) {
+		return append(dst, fallbackPass(col, f))
+	}
+	if f.Op == sql.OpBetween {
+		if p := compileRange(col, f.Value, f.Value2); p != nil {
+			return append(dst, p)
+		}
+		lo := compileCmp(col, vec.Ge, f.Value)
+		hi := compileCmp(col, vec.Le, f.Value2)
+		if lo == nil || hi == nil {
+			return append(dst, fallbackPass(col, f))
+		}
+		return append(dst, lo, hi)
+	}
+	op, ok := vecOp(f.Op)
+	if !ok {
+		return append(dst, fallbackPass(col, f))
+	}
+	if p := compileCmp(col, op, f.Value); p != nil {
+		return append(dst, p)
+	}
+	return append(dst, fallbackPass(col, f))
+}
+
+// fallbackPass is the row-wise pass for column/constant combinations
+// without a typed kernel; constructed only when actually needed.
+func fallbackPass(col *storage.ColData, f sql.Selection) scanPass {
+	return func(dst *vec.Bitmap, lo, hi int) {
+		vec.SetFunc(dst, func(i int) bool { return sql.EvalSelection(col.Value(i), f) }, lo, hi)
+	}
+}
+
+// vecOp maps a sql comparison operator to its kernel operator.
+func vecOp(op sql.CompareOp) (vec.CmpOp, bool) {
+	switch op {
+	case sql.OpEq:
+		return vec.Eq, true
+	case sql.OpNe:
+		return vec.Ne, true
+	case sql.OpLt:
+		return vec.Lt, true
+	case sql.OpLe:
+		return vec.Le, true
+	case sql.OpGt:
+		return vec.Gt, true
+	case sql.OpGe:
+		return vec.Ge, true
+	default:
+		return 0, false
+	}
+}
+
+// compileCmp returns a pass evaluating `col op c` with a typed kernel,
+// or nil when no kernel matches rel.Value.Compare's semantics for the
+// combination (mixed-kind column, string/numeric cross-kind).
+func compileCmp(col *storage.ColData, op vec.CmpOp, c rel.Value) scanPass {
+	nulls := col.NullWords
 	switch col.Kind {
 	case rel.KindInt:
-		ints := col.Ints
+		vals := col.Ints
 		switch c.Kind() {
 		case rel.KindInt:
 			ci := c.AsInt()
-			return func(i int) int {
-				v := ints[i]
-				switch {
-				case v < ci:
-					return -1
-				case v > ci:
-					return 1
-				default:
-					return 0
-				}
+			return func(dst *vec.Bitmap, lo, hi int) {
+				vec.Int64Cmp(dst, vals, op, ci, lo, hi)
+				vec.AndNotNulls(dst, nulls, lo, hi)
 			}
 		case rel.KindFloat:
 			cf := c.AsFloat()
-			return func(i int) int { return cmpF(float64(ints[i]), cf) }
+			return func(dst *vec.Bitmap, lo, hi int) {
+				vec.Int64AsFloatCmp(dst, vals, op, cf, lo, hi)
+				vec.AndNotNulls(dst, nulls, lo, hi)
+			}
 		}
 	case rel.KindFloat:
-		floats := col.Floats
+		vals := col.Floats
 		if c.Kind() == rel.KindInt || c.Kind() == rel.KindFloat {
 			cf := c.AsFloat()
-			return func(i int) int { return cmpF(floats[i], cf) }
+			return func(dst *vec.Bitmap, lo, hi int) {
+				vec.Float64Cmp(dst, vals, op, cf, lo, hi)
+				vec.AndNotNulls(dst, nulls, lo, hi)
+			}
 		}
 	case rel.KindString:
-		strs := col.Strs
+		vals := col.Strs
 		if c.Kind() == rel.KindString {
 			cstr := c.AsString()
-			return func(i int) int { return strings.Compare(strs[i], cstr) }
+			return func(dst *vec.Bitmap, lo, hi int) {
+				vec.StringCmp(dst, vals, op, cstr, lo, hi)
+				vec.AndNotNulls(dst, nulls, lo, hi)
+			}
 		}
 	}
 	return nil
 }
 
-func cmpF(a, b float64) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	default:
-		return 0
+// compileRange returns a fused BETWEEN pass when both bounds take the
+// same typed path as the column, else nil (the caller then decomposes
+// into two compare passes so each bound keeps its exact semantics —
+// e.g. an integer lower bound on an integer column compares exactly even
+// when the upper bound is a float).
+func compileRange(col *storage.ColData, lo, hi rel.Value) scanPass {
+	nulls := col.NullWords
+	switch col.Kind {
+	case rel.KindInt:
+		vals := col.Ints
+		if lo.Kind() == rel.KindInt && hi.Kind() == rel.KindInt {
+			l, h := lo.AsInt(), hi.AsInt()
+			return func(dst *vec.Bitmap, a, b int) {
+				vec.Int64Range(dst, vals, l, h, a, b)
+				vec.AndNotNulls(dst, nulls, a, b)
+			}
+		}
+		if lo.Kind() == rel.KindFloat && hi.Kind() == rel.KindFloat {
+			l, h := lo.AsFloat(), hi.AsFloat()
+			return func(dst *vec.Bitmap, a, b int) {
+				vec.Int64AsFloatRange(dst, vals, l, h, a, b)
+				vec.AndNotNulls(dst, nulls, a, b)
+			}
+		}
+	case rel.KindFloat:
+		vals := col.Floats
+		if (lo.Kind() == rel.KindInt || lo.Kind() == rel.KindFloat) &&
+			(hi.Kind() == rel.KindInt || hi.Kind() == rel.KindFloat) {
+			l, h := lo.AsFloat(), hi.AsFloat()
+			return func(dst *vec.Bitmap, a, b int) {
+				vec.Float64Range(dst, vals, l, h, a, b)
+				vec.AndNotNulls(dst, nulls, a, b)
+			}
+		}
+	case rel.KindString:
+		vals := col.Strs
+		if lo.Kind() == rel.KindString && hi.Kind() == rel.KindString {
+			l, h := lo.AsString(), hi.AsString()
+			return func(dst *vec.Bitmap, a, b int) {
+				vec.StringRange(dst, vals, l, h, a, b)
+				vec.AndNotNulls(dst, nulls, a, b)
+			}
+		}
 	}
+	return nil
 }
 
 // --- Joins ---
@@ -400,6 +685,9 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 	}
 
 	// Build (or reuse) the hash table over the right side's key columns.
+	// The build stays sequential: bucket append order must be the row
+	// order for deterministic output, and build sides are small relative
+	// to the probe work the partitions absorb.
 	var table map[uint64][]int32
 	tkey := ""
 	if e.cache != nil {
@@ -429,26 +717,74 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 
 	// Gather plan for the output boundary columns.
 	outRefs := e.boundaryFor(t.Aliases())
-	type src struct {
-		left bool
-		idx  int
-	}
-	gather := make([]src, len(outRefs))
+	gather := make([]gatherSrc, len(outRefs))
 	for k, ref := range outRefs {
 		if li := findRef(l.refs, ref); li >= 0 {
-			gather[k] = src{left: true, idx: li}
+			gather[k] = gatherSrc{left: true, idx: li}
 			continue
 		}
 		ri := findRef(r.refs, ref)
 		if ri < 0 {
 			return nil, fmt.Errorf("executor: missing boundary column %s: %w", ref, ErrSkeletonUnsupported)
 		}
-		gather[k] = src{left: false, idx: ri}
+		gather[k] = gatherSrc{left: false, idx: ri}
 	}
 
-	outCols := make([][]rel.Value, len(outRefs))
+	// Probe, partitioned over the left side's rows. The hash table and
+	// both children's columns are read-only now; each worker keeps a
+	// private match counter and private output-column chunks, merged in
+	// partition order below so the result is identical to a sequential
+	// probe at any worker count.
+	spans := e.rowSpans(l.count)
 	count := 0
-	for i := 0; i < l.count; i++ {
+	var outCols [][]rel.Value
+	if len(spans) == 1 {
+		outCols = make([][]rel.Value, len(gather))
+		count = probeRange(l, r, table, lkey, rkey, gather, outCols, 0, l.count)
+	} else {
+		type probePart struct {
+			count int
+			cols  [][]rel.Value
+		}
+		parts := make([]probePart, len(spans))
+		runSpans(spans, func(p int, s span) {
+			local := &parts[p]
+			local.cols = make([][]rel.Value, len(gather))
+			local.count = probeRange(l, r, table, lkey, rkey, gather, local.cols, s.lo, s.hi)
+		})
+		for p := range parts {
+			count += parts[p].count
+		}
+		outCols = make([][]rel.Value, len(gather))
+		for k := range gather {
+			merged := make([]rel.Value, 0, count)
+			for p := range parts {
+				merged = append(merged, parts[p].cols[k]...)
+			}
+			outCols[k] = merged
+		}
+	}
+	sub := &subResult{sig: sig, count: count, refs: outRefs, cols: outCols}
+	if e.cache != nil {
+		e.cache.subs[sig] = sub
+	}
+	return sub, nil
+}
+
+// gatherSrc says where one output boundary column comes from: which
+// side of the join and at which index in that side's boundary columns.
+type gatherSrc struct {
+	left bool
+	idx  int
+}
+
+// probeRange probes the hash table with left rows [lo, hi), appending
+// matched boundary values to cols (one slice per gather entry, in left
+// row order then bucket order) and returning the match count — the
+// per-span body of the partitioned probe.
+func probeRange(l, r *subResult, table map[uint64][]int32, lkey, rkey []int, gather []gatherSrc, cols [][]rel.Value, lo, hi int) int {
+	count := 0
+	for i := lo; i < hi; i++ {
 		h, null := hashKeyAt(l.cols, lkey, i)
 		if null {
 			continue
@@ -470,18 +806,14 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 			count++
 			for k, g := range gather {
 				if g.left {
-					outCols[k] = append(outCols[k], l.cols[g.idx][i])
+					cols[k] = append(cols[k], l.cols[g.idx][i])
 				} else {
-					outCols[k] = append(outCols[k], r.cols[g.idx][j])
+					cols[k] = append(cols[k], r.cols[g.idx][j])
 				}
 			}
 		}
 	}
-	sub := &subResult{sig: sig, count: count, refs: outRefs, cols: outCols}
-	if e.cache != nil {
-		e.cache.subs[sig] = sub
-	}
-	return sub, nil
+	return count
 }
 
 // hashKeyAt hashes row i's key columns, reporting whether any is NULL.

@@ -1,7 +1,9 @@
 package executor
 
 import (
+	"errors"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"reopt/internal/catalog"
@@ -173,6 +175,78 @@ func TestCountSkeletonCacheReuses(t *testing.T) {
 	if cache.Len() != before {
 		t.Errorf("swapped join order should reuse all subtree signatures: %d -> %d", before, cache.Len())
 	}
+}
+
+// TestCountSkeletonDeterministicAcrossWorkers: per-node counts (and,
+// transitively, the cached boundary-column materializations parent
+// joins consume) must be identical at every worker count — the
+// partitioned loops merge private outputs in partition order, so
+// parallelism must never show in the results. Run under -race this also
+// exercises the no-shared-word guarantee of the bitmap partitioning.
+func TestCountSkeletonDeterministicAcrossWorkers(t *testing.T) {
+	cat := skelCatalog(t, 7, 1500)
+	q := skelQuery()
+	counts := []int{1, 2, 3, runtime.NumCPU()}
+	for pi, p := range skelPlans(cat, q) {
+		base, err := CountSkeletonWorkers(p, cat.Table, NewSkeletonCache(), 1)
+		if err != nil {
+			t.Fatalf("plan %d workers=1: %v", pi, err)
+		}
+		for _, w := range counts[1:] {
+			// A fresh cache per worker count: every scan, gather, and
+			// probe re-runs at this parallelism instead of being served
+			// from a sequential run's cache.
+			got, err := CountSkeletonWorkers(p, cat.Table, NewSkeletonCache(), w)
+			if err != nil {
+				t.Fatalf("plan %d workers=%d: %v", pi, w, err)
+			}
+			plan.Walk(p.Root, func(n plan.Node) {
+				if got[n] != base[n] {
+					t.Errorf("plan %d node %v: workers=%d count %d, workers=1 count %d",
+						pi, n.Aliases(), w, got[n], base[n])
+				}
+			})
+		}
+	}
+}
+
+// TestCountSkeletonUnsupportedSchemaResolution: schema-resolution
+// failures inside the engine — a scan filter or a query join predicate
+// naming a column the scan's schema cannot resolve, as hand-built plans
+// sometimes have — must surface as ErrSkeletonUnsupported so callers
+// fall back to the general executor instead of hard-failing validation.
+func TestCountSkeletonUnsupportedSchemaResolution(t *testing.T) {
+	cat := skelCatalog(t, 1, 50)
+	q := skelQuery()
+
+	t.Run("filter column", func(t *testing.T) {
+		p := skelPlans(cat, q)[0]
+		scan := p.Root.(*plan.JoinNode).Left.(*plan.JoinNode).Left.(*plan.ScanNode)
+		scan.Filters = append(scan.Filters, sql.Selection{
+			Col: sql.ColRef{Table: scan.Alias, Column: "no_such_column"},
+			Op:  sql.OpEq, Value: rel.Int(1),
+		})
+		_, err := CountSkeleton(p, cat.Table, nil)
+		if !errors.Is(err, ErrSkeletonUnsupported) {
+			t.Fatalf("want ErrSkeletonUnsupported for unresolvable filter column, got %v", err)
+		}
+	})
+
+	t.Run("boundary column", func(t *testing.T) {
+		// The query's join list names a column t1 does not have; the
+		// boundary-column gather for {t1} cannot resolve it, even though
+		// the plan's own join predicates are untouched.
+		q2 := skelQuery()
+		q2.Joins = append(q2.Joins, sql.JoinPred{
+			Left:  sql.ColRef{Table: "t1", Column: "phantom"},
+			Right: sql.ColRef{Table: "t3", Column: "k2"},
+		})
+		p := skelPlans(cat, q2)[0]
+		_, err := CountSkeleton(p, cat.Table, nil)
+		if !errors.Is(err, ErrSkeletonUnsupported) {
+			t.Fatalf("want ErrSkeletonUnsupported for unresolvable boundary column, got %v", err)
+		}
+	})
 }
 
 // --- Hashed join key semantics (general executor) ---

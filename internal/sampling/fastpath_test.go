@@ -1,6 +1,9 @@
 package sampling
 
 import (
+	"fmt"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"reopt/internal/catalog"
@@ -71,6 +74,15 @@ func TestFastPathMatchesVolcano(t *testing.T) {
 				}
 				compareEstimates(t, tc.name, qi, "fresh", fastFresh, slow)
 				compareEstimates(t, tc.name, qi, "cached", fastCached, slow)
+				// The parallel engine must agree at every worker count,
+				// not just the GOMAXPROCS default the runs above used.
+				for _, w := range []int{1, 2, runtime.NumCPU()} {
+					pw, err := EstimatePlanWorkers(p, tc.cat, nil, w)
+					if err != nil {
+						t.Fatalf("query %d workers=%d: %v", qi, w, err)
+					}
+					compareEstimates(t, tc.name, qi, fmt.Sprintf("workers=%d", w), pw, slow)
+				}
 				// A second cached run must serve everything from cache and
 				// still agree (cross-round reuse correctness).
 				again, err := EstimatePlanCached(p, tc.cat, cache)
@@ -116,6 +128,92 @@ func TestFastPathFallsBackOnUnsupportedShape(t *testing.T) {
 	if len(est.Delta) == 0 {
 		t.Error("fallback produced an empty estimate")
 	}
+}
+
+// TestFastPathDeterministicAcrossWorkers: the Delta and SampleRows maps
+// must be *identical* — same keys, bit-for-bit same float64 values —
+// at every worker count, with each worker count warming its own cache
+// across several plans of the same workload (so cached
+// materializations produced in parallel feed later joins too).
+func TestFastPathDeterministicAcrossWorkers(t *testing.T) {
+	cat, err := ott.Generate(ott.Config{Seed: 11, RowsPerValue: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ott.Queries(cat, ott.QueryConfig{NumTables: 5, SameConstant: 4, Count: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	caches := make([]*ValidationCache, len(workerCounts))
+	for i := range caches {
+		caches[i] = NewValidationCache()
+	}
+	for qi, q := range qs {
+		p, err := opt.Optimize(q, nil)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		var base *Estimate
+		for wi, w := range workerCounts {
+			est, err := EstimatePlanWorkers(p, cat, caches[wi], w)
+			if err != nil {
+				t.Fatalf("query %d workers=%d: %v", qi, w, err)
+			}
+			if base == nil {
+				base = est
+				continue
+			}
+			if !reflect.DeepEqual(est.Delta, base.Delta) {
+				t.Errorf("query %d: Delta diverged between workers=%d and workers=%d:\n%v\nvs\n%v",
+					qi, w, workerCounts[0], est.Delta, base.Delta)
+			}
+			if !reflect.DeepEqual(est.SampleRows, base.SampleRows) {
+				t.Errorf("query %d: SampleRows diverged between workers=%d and workers=%d",
+					qi, w, workerCounts[0])
+			}
+		}
+	}
+}
+
+// TestFastPathFallsBackOnSchemaResolution: a query whose join list
+// names a column its table does not have makes the engine's
+// boundary-column gather unresolvable — a schema-resolution failure,
+// not a malformed plan — so EstimatePlan must fall back to the general
+// executor (which only looks at the plan's own predicates) and produce
+// the same estimate it would have produced with the fast path disabled.
+func TestFastPathFallsBackOnSchemaResolution(t *testing.T) {
+	cat, err := ott.Generate(ott.Config{Seed: 5, RowsPerValue: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ott.Queries(cat, ott.QueryConfig{NumTables: 3, SameConstant: 3, Count: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	p, err := opt.Optimize(qs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := *qs[0]
+	q2.Joins = append(append([]sql.JoinPred(nil), q2.Joins...), sql.JoinPred{
+		Left:  sql.ColRef{Table: q2.Tables[0].Alias, Column: "no_such_column"},
+		Right: sql.ColRef{Table: q2.Tables[1].Alias, Column: q2.Joins[0].Right.Column},
+	})
+	broken := &plan.Plan{Root: p.Root, Query: &q2}
+	got, err := EstimatePlan(broken, cat)
+	if err != nil {
+		t.Fatalf("schema-resolution failure must fall back, not fail: %v", err)
+	}
+	useFastPath = false
+	want, err := EstimatePlan(broken, cat)
+	useFastPath = true
+	if err != nil {
+		t.Fatalf("volcano baseline: %v", err)
+	}
+	compareEstimates(t, "ott", 0, "schema-fallback", got, want)
 }
 
 func compareEstimates(t *testing.T, workload string, qi int, mode string, fast, slow *Estimate) {

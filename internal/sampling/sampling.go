@@ -66,13 +66,23 @@ func EstimatePlan(p *plan.Plan, cat *catalog.Catalog) (*Estimate, error) {
 
 // EstimatePlanCached is EstimatePlan with an optional cross-round cache.
 func EstimatePlanCached(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCache) (*Estimate, error) {
+	return EstimatePlanWorkers(p, cat, cache, 0)
+}
+
+// EstimatePlanWorkers is EstimatePlanCached with an explicit worker
+// count for the skeleton engine's partitioned scan/probe loops:
+// workers <= 0 selects GOMAXPROCS, 1 forces sequential execution. The
+// estimate is byte-identical at every setting (the engine merges
+// per-partition outputs in partition order); the knob exists so tests
+// can pin determinism and callers can bound validation parallelism.
+func EstimatePlanWorkers(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCache, workers int) (*Estimate, error) {
 	if !cat.HasSamples() {
 		return nil, fmt.Errorf("sampling: catalog has no samples (call BuildSamples)")
 	}
 	start := time.Now()
 	skeleton := rewrite(p.Root)
 	sp := &plan.Plan{Root: skeleton, Query: p.Query}
-	nodeRows, err := skeletonCounts(sp, cat, cache)
+	nodeRows, err := skeletonCounts(sp, cat, cache, workers)
 	if err != nil {
 		return nil, fmt.Errorf("sampling: skeleton run: %w", err)
 	}
@@ -141,13 +151,13 @@ var useFastPath = true
 // the explicit unsupported-shape error triggers the fallback — any other
 // engine failure propagates rather than silently degrading every
 // validation to the slow path.
-func skeletonCounts(sp *plan.Plan, cat *catalog.Catalog, cache *ValidationCache) (map[plan.Node]int64, error) {
+func skeletonCounts(sp *plan.Plan, cat *catalog.Catalog, cache *ValidationCache, workers int) (map[plan.Node]int64, error) {
 	if useFastPath {
 		var skel *executor.SkeletonCache
 		if cache != nil {
 			skel = cache.skel
 		}
-		counts, err := executor.CountSkeleton(sp, cat.Sample, skel)
+		counts, err := executor.CountSkeletonWorkers(sp, cat.Sample, skel, workers)
 		if err == nil {
 			return counts, nil
 		}
@@ -203,14 +213,22 @@ func (e *Estimate) RelStdErr(key string) float64 {
 	return 1 / math.Sqrt(float64(k))
 }
 
-// ConfidenceWeight returns a weight in (0,1] expressing how much trust a
-// sampled estimate deserves given the raw number of sample rows observed
-// for the set: with k observed rows the relative standard error of the
-// Haas et al. estimator shrinks like 1/sqrt(k), so the weight k/(k+c)
-// approaches 1 for well-observed sets and stays low when the sample
-// barely witnessed the set. Used by the conservative blending extension
-// (§7 future work: "consider the uncertainty of the cardinality
-// estimates returned by sampling").
+// ConfidenceWeight returns a weight in (0,1) expressing how much trust a
+// sampled estimate deserves given the raw number k of sample rows
+// observed for the set: with k observations the relative standard error
+// of the Haas et al. estimator shrinks like 1/sqrt(k), so the weight
+// (k+1)/(k+1+c) rises toward 1 for well-observed sets and stays low when
+// the sample barely witnessed the set. The Laplace-style +1 is
+// deliberate, not plain k/(k+c): even at k=0 the estimator still says
+// something — the resolution-limit floor of EstimatePlan (half of one
+// sample row's worth) — so an unwitnessed set keeps a small non-zero
+// weight, 1/(1+c), rather than being wholly overridden by the
+// optimizer's statistics-based estimate. With c = 4 that is 0.2, so
+// core.blend still favors history (weight < 1/2) until the sample has
+// actually witnessed the set a few times (weight reaches 1/2 at
+// k = c-1 = 3).
+// Used by the conservative blending extension (§7 future work: "consider
+// the uncertainty of the cardinality estimates returned by sampling").
 func ConfidenceWeight(sampleRows int64) float64 {
 	const c = 4
 	k := float64(sampleRows)

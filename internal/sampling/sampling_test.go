@@ -174,6 +174,22 @@ func TestConfidenceWeightMonotone(t *testing.T) {
 	}
 }
 
+// TestConfidenceWeightBoundary pins the k=0 behaviour the conservative
+// blend relies on: an unwitnessed set keeps a small non-zero weight
+// (the Laplace-style +1 — the sampled floor estimate still carries
+// information) that stays strictly below 1/2, so core.blend favors the
+// optimizer's history-based estimate until the sample has actually
+// witnessed the set.
+func TestConfidenceWeightBoundary(t *testing.T) {
+	w0 := ConfidenceWeight(0)
+	if w0 <= 0 || w0 >= 0.5 {
+		t.Errorf("weight(0) = %v, want in (0, 0.5) so history dominates", w0)
+	}
+	if w := ConfidenceWeight(1 << 40); w >= 1 {
+		t.Errorf("weight must stay below 1, got %v", w)
+	}
+}
+
 // TestEstimateAgainstTrueCardinalities executes the skeleton on the base
 // tables and compares with the sampled estimate across a selective
 // filter, exercising the σ + join path end to end.

@@ -1,6 +1,9 @@
 package storage
 
-import "reopt/internal/rel"
+import (
+	"reopt/internal/rel"
+	"reopt/internal/vec"
+)
 
 // ColStore is a column-major projection of a table: each column whose
 // non-null values share one kind is stored as a typed slice ([]int64,
@@ -27,6 +30,11 @@ type ColData struct {
 	// Nulls marks NULL positions (typed slices hold zero values there);
 	// nil when the column has no NULLs.
 	Nulls []bool
+	// NullWords is the same NULL marking as a bitmap (one bit per row,
+	// vec.Bitmap word layout), prebuilt so the vectorized predicate
+	// kernels can mask NULLs with word-wise AND-NOT instead of a per-row
+	// check. nil exactly when Nulls is nil.
+	NullWords []uint64
 	// Vals is set only for mixed-kind columns.
 	Vals []rel.Value
 }
@@ -97,6 +105,7 @@ func BuildColStore(t *Table) *ColStore {
 		col.Kind = kind
 		if hasNull {
 			col.Nulls = make([]bool, n)
+			col.NullWords = make([]uint64, vec.NumWords(n))
 		}
 		switch kind {
 		case rel.KindInt:
@@ -116,6 +125,7 @@ func BuildColStore(t *Table) *ColStore {
 			v := row[pos]
 			if v.IsNull() {
 				col.Nulls[i] = true
+				col.NullWords[i/vec.WordBits] |= 1 << (uint(i) % vec.WordBits)
 				continue
 			}
 			switch col.Kind {

@@ -1,0 +1,271 @@
+// Package vec implements selection bitmaps and vectorized predicate
+// kernels over typed columns. A scan filter is evaluated for the whole
+// column at once into a Bitmap (one bit per row) by a branch-free
+// compare loop specialized to the column kind and constant kind;
+// conjunctive filters fuse by AND-ing their bitmaps word-wise, and only
+// the final bitmap is materialized into a selection vector. All kernels
+// operate on an explicit word-aligned row range so callers can partition
+// one bitmap across workers: two workers whose ranges share no word
+// never touch the same memory.
+package vec
+
+import "math/bits"
+
+// WordBits is the bitmap word width; row i lives in word i/WordBits.
+const WordBits = 64
+
+// NumWords returns the number of uint64 words a bitmap over n rows needs.
+func NumWords(n int) int { return (n + WordBits - 1) / WordBits }
+
+// Bitmap is a bitset over rows 0..n-1 backed by uint64 words. Bits at
+// positions >= n are always zero (every kernel masks its tail), so
+// Count and AppendIndices need no special casing.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns an all-zero bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, NumWords(n))}
+}
+
+// Len returns the number of rows the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+// Reset reconfigures b to cover n rows, reusing the word storage when it
+// is large enough. The words are left dirty: every kernel's first pass
+// overwrites its whole word range (setRange assigns, never ORs), so a
+// caller that always runs a filling pass before reading needs no
+// clearing.
+func (b *Bitmap) Reset(n int) {
+	w := NumWords(n)
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+	} else {
+		b.words = b.words[:w]
+	}
+	b.n = n
+}
+
+// Words exposes the backing words for kernels and partitioned writers.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// Get reports whether row i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i/WordBits]>>(uint(i)%WordBits)&1 != 0
+}
+
+// And intersects rows [lo, hi) with o in place; lo and hi must be
+// word-aligned or equal to the row count.
+func (b *Bitmap) And(o *Bitmap, lo, hi int) {
+	w0, w1 := lo/WordBits, NumWords(hi)
+	dst, src := b.words, o.words
+	for w := w0; w < w1; w++ {
+		dst[w] &= src[w]
+	}
+}
+
+// Count returns the number of set rows in [lo, hi); lo and hi must be
+// word-aligned or equal to the row count.
+func (b *Bitmap) Count(lo, hi int) int {
+	c := 0
+	for w, w1 := lo/WordBits, NumWords(hi); w < w1; w++ {
+		c += bits.OnesCount64(b.words[w])
+	}
+	return c
+}
+
+// AppendIndices appends the set rows in [lo, hi) to dst in ascending
+// order; lo and hi must be word-aligned or equal to the row count.
+func (b *Bitmap) AppendIndices(dst []int32, lo, hi int) []int32 {
+	for w, w1 := lo/WordBits, NumWords(hi); w < w1; w++ {
+		word := b.words[w]
+		base := int32(w * WordBits)
+		for word != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// b2u converts a bool to 0/1; the compiler lowers the conditional to a
+// flag-setting instruction, keeping the kernels below branch-free.
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// setRange fills rows [lo, hi) of words from pred; lo must be
+// word-aligned. Only whole words inside the range are written, so
+// partitioned callers with disjoint word ranges never race. Bits beyond
+// hi in the final word are left zero.
+func setRange(words []uint64, lo, hi int, pred func(i int) bool) {
+	for w := lo / WordBits; w < NumWords(hi); w++ {
+		base := w * WordBits
+		end := base + WordBits
+		if end > hi {
+			end = hi
+		}
+		var word uint64
+		for i := base; i < end; i++ {
+			word |= b2u(pred(i)) << uint(i-base)
+		}
+		words[w] = word
+	}
+}
+
+// CmpOp is the comparison a kernel applies between column values and the
+// constant: the six operators shared by every scalar kind. BETWEEN is
+// expressed by callers as Ge AND Le over two constants.
+type CmpOp uint8
+
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// Int64Cmp evaluates vals[i] op c for rows [lo, hi) into dst (one whole
+// branch-free loop per operator; the op switch runs once, not per row).
+func Int64Cmp(dst *Bitmap, vals []int64, op CmpOp, c int64, lo, hi int) {
+	words := dst.words
+	switch op {
+	case Eq:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] == c })
+	case Ne:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] != c })
+	case Lt:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] < c })
+	case Le:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] <= c })
+	case Gt:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] > c })
+	case Ge:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] >= c })
+	}
+}
+
+// Int64Range evaluates lo64 <= vals[i] <= hi64 (BETWEEN) in one fused
+// pass for rows [lo, hi).
+func Int64Range(dst *Bitmap, vals []int64, lo64, hi64 int64, lo, hi int) {
+	setRange(dst.words, lo, hi, func(i int) bool {
+		return vals[i] >= lo64 && vals[i] <= hi64
+	})
+}
+
+// Float64Cmp evaluates vals[i] op c for rows [lo, hi). The comparisons
+// are written as negations of < and > so they follow rel.Value.Compare's
+// float semantics exactly, including its NaN behaviour (NaN compares
+// "equal" to everything there).
+func Float64Cmp(dst *Bitmap, vals []float64, op CmpOp, c float64, lo, hi int) {
+	words := dst.words
+	switch op {
+	case Eq:
+		setRange(words, lo, hi, func(i int) bool { return !(vals[i] < c) && !(vals[i] > c) })
+	case Ne:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] < c || vals[i] > c })
+	case Lt:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] < c })
+	case Le:
+		setRange(words, lo, hi, func(i int) bool { return !(vals[i] > c) })
+	case Gt:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] > c })
+	case Ge:
+		setRange(words, lo, hi, func(i int) bool { return !(vals[i] < c) })
+	}
+}
+
+// Float64Range evaluates lo64 <= vals[i] <= hi64 (BETWEEN, Compare
+// semantics) in one fused pass for rows [lo, hi).
+func Float64Range(dst *Bitmap, vals []float64, lo64, hi64 float64, lo, hi int) {
+	setRange(dst.words, lo, hi, func(i int) bool {
+		return !(vals[i] < lo64) && !(vals[i] > hi64)
+	})
+}
+
+// Int64AsFloatCmp evaluates float64(vals[i]) op c for rows [lo, hi) —
+// the cross-kind path for an integer column compared to a float
+// constant, matching rel's numeric widening.
+func Int64AsFloatCmp(dst *Bitmap, vals []int64, op CmpOp, c float64, lo, hi int) {
+	words := dst.words
+	switch op {
+	case Eq:
+		setRange(words, lo, hi, func(i int) bool { v := float64(vals[i]); return !(v < c) && !(v > c) })
+	case Ne:
+		setRange(words, lo, hi, func(i int) bool { v := float64(vals[i]); return v < c || v > c })
+	case Lt:
+		setRange(words, lo, hi, func(i int) bool { return float64(vals[i]) < c })
+	case Le:
+		setRange(words, lo, hi, func(i int) bool { return !(float64(vals[i]) > c) })
+	case Gt:
+		setRange(words, lo, hi, func(i int) bool { return float64(vals[i]) > c })
+	case Ge:
+		setRange(words, lo, hi, func(i int) bool { return !(float64(vals[i]) < c) })
+	}
+}
+
+// Int64AsFloatRange is the fused BETWEEN for an integer column with
+// float bounds.
+func Int64AsFloatRange(dst *Bitmap, vals []int64, lo64, hi64 float64, lo, hi int) {
+	setRange(dst.words, lo, hi, func(i int) bool {
+		v := float64(vals[i])
+		return !(v < lo64) && !(v > hi64)
+	})
+}
+
+// StringCmp evaluates vals[i] op c for rows [lo, hi). String compares
+// branch internally, but the loop still amortizes the operator dispatch
+// and writes the same bitmap layout as the numeric kernels.
+func StringCmp(dst *Bitmap, vals []string, op CmpOp, c string, lo, hi int) {
+	words := dst.words
+	switch op {
+	case Eq:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] == c })
+	case Ne:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] != c })
+	case Lt:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] < c })
+	case Le:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] <= c })
+	case Gt:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] > c })
+	case Ge:
+		setRange(words, lo, hi, func(i int) bool { return vals[i] >= c })
+	}
+}
+
+// StringRange is the fused BETWEEN for string columns.
+func StringRange(dst *Bitmap, vals []string, lo64, hi64 string, lo, hi int) {
+	setRange(dst.words, lo, hi, func(i int) bool {
+		return vals[i] >= lo64 && vals[i] <= hi64
+	})
+}
+
+// SetFunc fills rows [lo, hi) from an arbitrary per-row predicate — the
+// row-wise fallback for column/constant combinations without a typed
+// kernel (mixed-kind columns, NULL constants). It writes the same
+// word-aligned layout, so fallback filters still fuse with kernel
+// filters by And.
+func SetFunc(dst *Bitmap, pred func(i int) bool, lo, hi int) {
+	setRange(dst.words, lo, hi, pred)
+}
+
+// AndNotNulls clears rows [lo, hi) whose null bit is set; nulls is the
+// column's null bitmap words (nil means no NULLs).
+func AndNotNulls(dst *Bitmap, nulls []uint64, lo, hi int) {
+	if nulls == nil {
+		return
+	}
+	w0, w1 := lo/WordBits, NumWords(hi)
+	words := dst.words
+	for w := w0; w < w1; w++ {
+		words[w] &^= nulls[w]
+	}
+}

@@ -1,0 +1,95 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBitmapRoundTrip: kernels fill word-aligned ranges, Count and
+// AppendIndices agree with a naive bit-by-bit read, including tail
+// words and ranges that split mid-bitmap.
+func TestBitmapRoundTrip(t *testing.T) {
+	const n = 203 // deliberately not a multiple of 64
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 7)
+	}
+	bm := NewBitmap(n)
+	Int64Cmp(bm, vals, Lt, 3, 0, n)
+	want := 0
+	for i := 0; i < n; i++ {
+		set := vals[i] < 3
+		if bm.Get(i) != set {
+			t.Fatalf("bit %d = %v, want %v", i, bm.Get(i), set)
+		}
+		if set {
+			want++
+		}
+	}
+	if got := bm.Count(0, n); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	idx := bm.AppendIndices(nil, 0, n)
+	if len(idx) != want {
+		t.Fatalf("AppendIndices returned %d rows, want %d", len(idx), want)
+	}
+	for k := 1; k < len(idx); k++ {
+		if idx[k] <= idx[k-1] {
+			t.Fatalf("indices not ascending at %d: %v <= %v", k, idx[k], idx[k-1])
+		}
+	}
+
+	// Split evaluation over two word-aligned halves must equal the
+	// whole-range evaluation (the partitioned-worker contract).
+	split := NewBitmap(n)
+	Int64Cmp(split, vals, Lt, 3, 0, 128)
+	Int64Cmp(split, vals, Lt, 3, 128, n)
+	for w := range bm.Words() {
+		if split.Words()[w] != bm.Words()[w] {
+			t.Errorf("word %d differs between split and whole evaluation", w)
+		}
+	}
+}
+
+// TestAndAndNotNulls: conjunction and NULL masking operate word-wise
+// and leave tail bits zero.
+func TestAndAndNotNulls(t *testing.T) {
+	const n = 100
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	a := NewBitmap(n)
+	Int64Cmp(a, vals, Ge, 10, 0, n)
+	b := NewBitmap(n)
+	Int64Cmp(b, vals, Lt, 20, 0, n)
+	a.And(b, 0, n)
+	if got := a.Count(0, n); got != 10 {
+		t.Errorf("10 <= v < 20 count = %d, want 10", got)
+	}
+	nulls := make([]uint64, NumWords(n))
+	nulls[0] |= 1 << 12 // row 12 is NULL
+	AndNotNulls(a, nulls, 0, n)
+	if got := a.Count(0, n); got != 9 {
+		t.Errorf("count after NULL mask = %d, want 9", got)
+	}
+	if a.Get(12) {
+		t.Error("NULL row survived the mask")
+	}
+}
+
+// TestFloatKernelsFollowCompareSemantics: the float kernels are written
+// as negations of < and > so NaN behaves like rel.Value.Compare (NaN
+// "equals" everything): Eq must admit NaN rows, Ne must reject them.
+func TestFloatKernelsFollowCompareSemantics(t *testing.T) {
+	vals := []float64{1, math.NaN(), 2, 1}
+	bm := NewBitmap(len(vals))
+	Float64Cmp(bm, vals, Eq, 1, 0, len(vals))
+	if got := bm.Count(0, len(vals)); got != 3 {
+		t.Errorf("Eq 1 over {1, NaN, 2, 1} = %d rows, want 3 (NaN compares equal)", got)
+	}
+	Float64Cmp(bm, vals, Ne, 1, 0, len(vals))
+	if got := bm.Count(0, len(vals)); got != 1 {
+		t.Errorf("Ne 1 = %d rows, want 1", got)
+	}
+}

@@ -176,6 +176,14 @@ func EstimateBySampling(p *Plan, cat *Catalog) (*SamplingEstimate, error) {
 	return sampling.EstimatePlan(p, cat)
 }
 
+// EstimateBySamplingWorkers is EstimateBySampling with an explicit
+// worker count for the skeleton engine's partitioned loops (0 =
+// GOMAXPROCS, 1 = sequential); the estimate is identical at every
+// setting.
+func EstimateBySamplingWorkers(p *Plan, cat *Catalog, workers int) (*SamplingEstimate, error) {
+	return sampling.EstimatePlanWorkers(p, cat, nil, workers)
+}
+
 // Calibrate runs the offline cost-unit calibration micro-benchmarks.
 func Calibrate(opts CalibrateOptions) (Units, error) { return calibrate.Run(opts) }
 
