@@ -1,8 +1,15 @@
 # Development targets; CI runs the same commands (.github/workflows/ci.yml).
 
-GO ?= go
+# bash + pipefail: the bench targets pipe `go test` through tee, and a
+# failing benchmark run must fail the target instead of archiving a
+# truncated BENCH_<sha>.json as if it succeeded.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all vet build test race check bench bench-smoke bench-hotpath
+GO ?= go
+BENCH_SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+.PHONY: all vet build test race check bench bench-smoke bench-hotpath bench-json
 
 all: check
 
@@ -32,7 +39,18 @@ bench-smoke:
 # bench-hotpath measures the re-optimization hot path with allocation
 # counts (the series tracked across PRs).
 bench-hotpath:
-	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT' -benchtime 2s .
+	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache' -benchtime 2s .
 
+# bench runs everything and archives the numbers as machine-readable
+# JSON (ns/op, B/op, allocs/op per benchmark) named after the commit,
+# so the perf trajectory is diffable across PRs.
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./...
+	$(GO) test -run xxx -bench . -benchmem ./... | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -sha $(BENCH_SHA) -out BENCH_$(BENCH_SHA).json
+
+# bench-json is the CI variant: the hot-path series only (fast enough
+# for every push), archived as BENCH_<sha>.json and uploaded as a
+# workflow artifact.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkExecutorJoinRows' -benchtime 1s -benchmem . ./internal/executor | tee bench.out
+	$(GO) run ./cmd/benchjson -in bench.out -sha $(BENCH_SHA) -out BENCH_$(BENCH_SHA).json

@@ -11,6 +11,8 @@ package reopt_test
 // binary (cmd/experiments) runs the same code at full scale.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"reopt"
@@ -308,4 +310,83 @@ func BenchmarkHashJoinKeys(b *testing.B) {
 			b.Fatal("hash join produced no rows")
 		}
 	}
+}
+
+// BenchmarkReoptimizeMultiSeed times the §7 multi-seed variant (4
+// seeded runs of Algorithm 1), whose round-1 candidates validate as one
+// shared-scan batch: subtrees shared between the seeds execute once and
+// the combined work partitions across the validation workers. At
+// workers=1 the batch degenerates to the sequential seed loop's work,
+// so the sub-benchmarks expose the batching win directly on multi-core
+// hosts (a 1-core host shows parity).
+func BenchmarkReoptimizeMultiSeed(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
+	for _, w := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			r := reopt.NewReoptimizer(opt, cat)
+			r.Opts.Workers = w
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.ReoptimizeMultiSeed(qs[0], 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadCache measures what the workload-level validation
+// cache buys on a workload of similar queries: "cold" re-optimizes the
+// whole workload with per-query caches (every query validates from
+// scratch); "warm" runs it against a pre-warmed shared WorkloadCache,
+// so validations replay cached subtree counts. Estimates are identical
+// either way — only the time changes.
+func BenchmarkWorkloadCache(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
+	runAll := func(b *testing.B, r *reopt.Reoptimizer) {
+		for _, q := range qs {
+			if _, err := r.Reoptimize(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		r := reopt.NewReoptimizer(opt, cat)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runAll(b, r)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		r := reopt.NewReoptimizer(opt, cat)
+		r.Opts.Cache = reopt.NewWorkloadCache(0)
+		runAll(b, r) // warm the cache once
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runAll(b, r)
+		}
+	})
 }

@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON report, so CI can archive one BENCH_<sha>.json
+// per commit and the perf trajectory stays diffable across PRs.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson -sha abc1234 -out BENCH_abc1234.json
+//	benchjson -in bench.out -sha abc1234 -out BENCH_abc1234.json
+//
+// Lines that are not benchmark results (build noise, PASS/ok, custom
+// log output) are ignored; `pkg:` headers attribute each benchmark to
+// its package.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the archived artifact.
+type Report struct {
+	SHA        string      `json:"sha"`
+	Generated  string      `json:"generated"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "", "bench output file (default stdin)")
+		out = flag.String("out", "", "JSON file to write (default stdout)")
+		sha = flag.String("sha", "", "commit the numbers belong to")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src, *sha)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+func parse(r io.Reader, sha string) (*Report, error) {
+	rep := &Report{SHA: sha, Generated: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark...: some log line"
+		}
+		b := Benchmark{
+			// Strip the -<GOMAXPROCS> suffix so names are stable across
+			// differently-sized CI hosts.
+			Name:       trimProcs(fields[0]),
+			Pkg:        pkg,
+			Iterations: iters,
+		}
+		// The rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// trimProcs removes a trailing -N GOMAXPROCS marker from a benchmark
+// name (sub-benchmark slashes are kept).
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

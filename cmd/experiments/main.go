@@ -5,9 +5,18 @@
 //	experiments -list
 //	experiments -id fig10
 //	experiments -id all [-csv] [-customers 1500] [-instances 5] [-seed 42]
+//	experiments -id fig17 -workers 4          # validation fan-out on 4 workers
+//	experiments -id fig17 -cache 4096         # share validation counts across queries
 //
 // Each experiment prints a table whose rows are the series the paper
 // plots; EXPERIMENTS.md records paper-reported vs measured values.
+//
+// -workers bounds each validation's skeleton-run parallelism (0 =
+// GOMAXPROCS, 1 = sequential); estimates are identical at every
+// setting. -cache N shares a workload-level validation cache of N
+// subtree entries across every query of the run, so repeated/similar
+// query instances reuse counts; it is off by default because the
+// paper's overhead figures measure each query cold.
 package main
 
 import (
@@ -29,6 +38,8 @@ func main() {
 		rowsPerVal = flag.Int("ott-m", 0, "OTT rows per distinct value (default 40)")
 		dsSales    = flag.Int("ds-sales", 0, "TPC-DS store_sales rows (default 30000)")
 		instances  = flag.Int("instances", 0, "instances per query template (default 5)")
+		workers    = flag.Int("workers", 0, "validation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		cacheSize  = flag.Int("cache", 0, "workload validation-cache budget in subtree entries (0 = off)")
 		seed       = flag.Int64("seed", 42, "random seed")
 	)
 	flag.Parse()
@@ -41,11 +52,13 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		TPCHCustomers:   *customers,
-		OTTRowsPerValue: *rowsPerVal,
-		DSStoreSales:    *dsSales,
-		Instances:       *instances,
-		Seed:            *seed,
+		TPCHCustomers:        *customers,
+		OTTRowsPerValue:      *rowsPerVal,
+		DSStoreSales:         *dsSales,
+		Instances:            *instances,
+		Workers:              *workers,
+		WorkloadCacheEntries: *cacheSize,
+		Seed:                 *seed,
 	}
 	runner := experiments.NewRunner(cfg)
 

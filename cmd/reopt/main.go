@@ -18,6 +18,7 @@ import (
 	"reopt/internal/core"
 	"reopt/internal/executor"
 	"reopt/internal/optimizer"
+	"reopt/internal/sampling"
 	"reopt/internal/sql"
 	"reopt/internal/workload/ott"
 	"reopt/internal/workload/tpcds"
@@ -33,15 +34,16 @@ func main() {
 		queryID = flag.Int("query", 0, "TPC-H template number (with -db tpch)")
 		analyze = flag.Bool("analyze", false, "print EXPLAIN ANALYZE (estimated vs actual rows)")
 		workers = flag.Int("workers", 0, "validation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		cache   = flag.Int("cache", 0, "workload validation-cache budget in subtree entries (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers); err != nil {
+	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *cache); err != nil {
 		fmt.Fprintln(os.Stderr, "reopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers int) error {
+func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, cacheEntries int) error {
 	var cat *catalog.Catalog
 	var err error
 	var q *sql.Query
@@ -120,6 +122,12 @@ func run(db string, z float64, seed int64, sqlText string, queryID int, analyze 
 
 	r := core.New(opt, cat)
 	r.Opts.Workers = workers
+	if cacheEntries > 0 {
+		// One query still profits across its own rounds, and a longer
+		// session (e.g. driving reopt from a script over many queries)
+		// would reuse counts between invocations of this Reoptimizer.
+		r.Opts.Cache = sampling.NewWorkloadCache(cacheEntries)
+	}
 	res, err := r.Reoptimize(q)
 	if err != nil {
 		return err

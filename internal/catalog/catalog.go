@@ -7,6 +7,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"reopt/internal/stats"
 	"reopt/internal/storage"
@@ -32,7 +33,15 @@ type Catalog struct {
 
 	sampleRatio   float64
 	minSampleRows int
+	sampleEpoch   uint64
 }
+
+// sampleEpochCounter issues process-wide unique sample epochs. Epochs
+// are unique across catalogs, not just within one, so a validation
+// cache keyed by epoch can never confuse two catalogs' samples (e.g.
+// the uniform and skewed TPC-H databases share table names and query
+// shapes but hold different data).
+var sampleEpochCounter atomic.Uint64
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -156,6 +165,11 @@ func (c *Catalog) EffectiveSampleRatio(tableRows int) float64 {
 // seed and the table name so that results are reproducible regardless of
 // map order.
 func (c *Catalog) BuildSamples(seed int64) {
+	// Every (re)build starts a fresh sample epoch: caches keyed by the
+	// epoch (sampling.WorkloadCache) are invalidated wholesale, so a
+	// refreshed sample can never serve counts observed on its
+	// predecessor — even when the seed is identical.
+	c.sampleEpoch = sampleEpochCounter.Add(1)
 	for name, t := range c.tables {
 		r := c.EffectiveSampleRatio(t.NumRows())
 		s := t.Sample(name+"_sample", r, seed^hashName(name))
@@ -179,6 +193,12 @@ func (c *Catalog) Sample(name string) (*storage.Table, error) {
 
 // HasSamples reports whether BuildSamples has run.
 func (c *Catalog) HasSamples() bool { return len(c.samples) > 0 }
+
+// SampleEpoch identifies the current sample set: it changes on every
+// BuildSamples call and is unique across catalogs in the process.
+// Workload-level validation caches namespace their entries by it, so
+// counts observed on one sample set are never served against another.
+func (c *Catalog) SampleEpoch() uint64 { return c.sampleEpoch }
 
 func hashName(s string) int64 {
 	// FNV-1a, inlined to keep the catalog dependency-free.

@@ -136,3 +136,29 @@ func TestBuildSamplesDeterministic(t *testing.T) {
 		t.Errorf("samples differ: %d vs %d", a.NumRows(), b.NumRows())
 	}
 }
+
+func TestSampleEpoch(t *testing.T) {
+	a := New()
+	a.MustAddTable(newTestTable("t", 100))
+	if a.SampleEpoch() != 0 {
+		t.Error("epoch should be zero before BuildSamples")
+	}
+	a.BuildSamples(1)
+	e1 := a.SampleEpoch()
+	if e1 == 0 {
+		t.Fatal("BuildSamples must assign a non-zero epoch")
+	}
+	// Rebuilding — even with the same seed — starts a new epoch, so
+	// caches keyed by epoch can never serve pre-refresh counts.
+	a.BuildSamples(1)
+	if a.SampleEpoch() == e1 {
+		t.Error("same-seed rebuild must still advance the epoch")
+	}
+	// Epochs are process-unique: a different catalog never shares one.
+	b := New()
+	b.MustAddTable(newTestTable("t", 100))
+	b.BuildSamples(1)
+	if b.SampleEpoch() == a.SampleEpoch() || b.SampleEpoch() == e1 {
+		t.Error("distinct catalogs must have distinct epochs")
+	}
+}

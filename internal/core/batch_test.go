@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/plan"
+	"reopt/internal/sampling"
+)
+
+// sequentialEstimator ignores batching and caching: every plan's
+// skeleton re-executes from scratch, one plan at a time — the reference
+// behavior the batched path must be observably identical to.
+func sequentialEstimator(ps []*plan.Plan, c *catalog.Catalog, _ sampling.Cache, _ int) ([]*sampling.Estimate, error) {
+	out := make([]*sampling.Estimate, len(ps))
+	for i, p := range ps {
+		e, err := sampling.EstimatePlan(p, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// compareResults asserts two re-optimization runs are observably
+// identical: same Γ byte for byte, same trace shape, same final plan.
+func compareResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if g, w := got.Gamma.Snapshot(), want.Gamma.Snapshot(); g != w {
+		t.Errorf("%s: Γ diverged\ngot:  %s\nwant: %s", label, g, w)
+	}
+	if got.NumPlans != want.NumPlans || len(got.Rounds) != len(want.Rounds) || got.Converged != want.Converged {
+		t.Errorf("%s: trace diverged: %d plans/%d rounds/conv=%v vs %d plans/%d rounds/conv=%v",
+			label, got.NumPlans, len(got.Rounds), got.Converged,
+			want.NumPlans, len(want.Rounds), want.Converged)
+	}
+	if got.Final.Fingerprint() != want.Final.Fingerprint() {
+		t.Errorf("%s: final plan diverged", label)
+	}
+	for ri := range got.Rounds {
+		if ri < len(want.Rounds) && got.Rounds[ri].GammaAdded != want.Rounds[ri].GammaAdded {
+			t.Errorf("%s round %d: GammaAdded %d != %d",
+				label, ri, got.Rounds[ri].GammaAdded, want.Rounds[ri].GammaAdded)
+		}
+	}
+}
+
+// TestMultiSeedBatchedIdentical: multi-seed re-optimization with the
+// batched shared-scan round-1 validation and cross-seed cache must be
+// observably identical to validating every plan solo and uncached —
+// batching may only change when counts are computed, never their
+// values.
+func TestMultiSeedBatchedIdentical(t *testing.T) {
+	r, qs := ottSetup(t)
+	orig := estimatePlansFn
+	defer func() { estimatePlansFn = orig }()
+
+	for qi, q := range qs[:3] {
+		estimatePlansFn = orig // batched production path
+		batched, err := r.ReoptimizeMultiSeed(q, 3)
+		if err != nil {
+			t.Fatalf("query %d batched: %v", qi, err)
+		}
+		estimatePlansFn = sequentialEstimator
+		solo, err := r.ReoptimizeMultiSeed(q, 3)
+		if err != nil {
+			t.Fatalf("query %d solo: %v", qi, err)
+		}
+		compareResults(t, "multiseed", batched, solo)
+	}
+}
+
+// TestWorkloadCacheReoptimizeIdentical: running a workload of queries
+// through one Reoptimizer with a shared WorkloadCache must produce, for
+// every query, exactly the result of a cold per-query run — cross-query
+// reuse is invisible except in time.
+func TestWorkloadCacheReoptimizeIdentical(t *testing.T) {
+	r, qs := ottSetup(t)
+	cached := New(r.Opt, r.Cat)
+	cached.Opts.Cache = sampling.NewWorkloadCache(0)
+
+	for qi, q := range qs {
+		cold, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatalf("query %d cold: %v", qi, err)
+		}
+		warm, err := cached.Reoptimize(q)
+		if err != nil {
+			t.Fatalf("query %d warm: %v", qi, err)
+		}
+		compareResults(t, "workload-cache", warm, cold)
+	}
+	if cached.Opts.Cache.Len() == 0 {
+		t.Error("workload cache recorded nothing")
+	}
+	if hits, _ := cached.Opts.Cache.Stats(); hits == 0 {
+		t.Error("workload cache recorded no hits across the workload")
+	}
+}

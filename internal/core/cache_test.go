@@ -16,19 +16,28 @@ import (
 func TestCrossRoundCacheGammaIdentical(t *testing.T) {
 	r, qs := ottSetup(t)
 
-	orig := estimatePlanFn
-	defer func() { estimatePlanFn = orig }()
+	orig := estimatePlansFn
+	defer func() { estimatePlansFn = orig }()
 
 	for qi, q := range qs {
-		estimatePlanFn = orig // cached fast path (production default)
+		estimatePlansFn = orig // cached, batched fast path (production default)
 		cached, err := r.Reoptimize(q)
 		if err != nil {
 			t.Fatalf("query %d cached: %v", qi, err)
 		}
 
-		// Ignore the per-run cache: every round re-executes its skeleton.
-		estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, _ *sampling.ValidationCache, _ int) (*sampling.Estimate, error) {
-			return sampling.EstimatePlan(p, c)
+		// Ignore the cache and the batch: every round re-executes every
+		// plan's skeleton from scratch, one at a time.
+		estimatePlansFn = func(ps []*plan.Plan, c *catalog.Catalog, _ sampling.Cache, _ int) ([]*sampling.Estimate, error) {
+			out := make([]*sampling.Estimate, len(ps))
+			for i, p := range ps {
+				e, err := sampling.EstimatePlan(p, c)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = e
+			}
+			return out, nil
 		}
 		uncached, err := r.Reoptimize(q)
 		if err != nil {

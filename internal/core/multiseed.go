@@ -33,8 +33,31 @@ func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, err
 	}
 	// All seeded runs validate the same query over the same samples, so
 	// one validation cache serves every run: subtrees validated while
-	// re-optimizing one seed are reused by the others.
-	cache := sampling.NewValidationCache()
+	// re-optimizing one seed are reused by the others (a configured
+	// workload cache extends that reuse across queries).
+	cache := r.runCache()
+
+	// Batched round 1: every seed's initial candidate is validated in
+	// one shared-scan pass. The candidates are join-order permutations
+	// of one query, so their subtrees overlap heavily — the batch
+	// executes each distinct subtree once and partitions the combined
+	// work across Options.Workers, where the per-seed loop below would
+	// run them one at a time on samples too small to fan out. Each
+	// run's round-1 validation then replays from the cache,
+	// byte-identical to having computed it itself; the batch's cost is
+	// charged back to the runs in equal shares below. Under a Timeout
+	// the batch is skipped: it would validate *all* candidates before
+	// the budget is ever checked, while the lazy per-seed path stops
+	// starting runs the moment the budget is spent.
+	var warmShare time.Duration
+	if len(initials) > 1 && r.Opts.Timeout == 0 {
+		t0 := time.Now()
+		if _, err := estimatePlansFn(initials, r.Cat, cache, r.Opts.Workers); err != nil {
+			return nil, err
+		}
+		warmShare = time.Since(t0) / time.Duration(len(initials))
+	}
+
 	var best *Result
 	var bestCost float64
 	for _, p := range initials {
@@ -42,6 +65,7 @@ func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, err
 		if err != nil {
 			return nil, err
 		}
+		res.ReoptTime += warmShare
 		rp, rerr := r.Opt.Recost(q, res.Final, res.Gamma)
 		switch {
 		case rerr == nil && (best == nil || rp.Cost() < bestCost):
@@ -97,7 +121,7 @@ func (r *Reoptimizer) initialPlans(q *sql.Query, n int) ([]*plan.Plan, error) {
 // reoptimizeFrom runs Algorithm 1 but uses the supplied plan as P_1
 // instead of the optimizer's first choice: P_1 is validated, its Δ is
 // merged into Γ, and the loop proceeds normally from round 2.
-func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan, cache *sampling.ValidationCache, start time.Time) (*Result, error) {
+func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan, cache sampling.Cache, start time.Time) (*Result, error) {
 	// Temporarily narrow the optimizer call for round 1 by validating
 	// the provided plan first; Reoptimize then starts from a Γ that
 	// encodes it. If the optimizer's round-1 plan under that Γ equals
@@ -112,7 +136,7 @@ func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan, cache *sa
 
 // reoptimizeSeeded is Reoptimize with an externally supplied P_1. start
 // anchors the Options.Timeout budget (shared across seeded runs).
-func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache *sampling.ValidationCache, start time.Time) (*Result, error) {
+func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache sampling.Cache, start time.Time) (*Result, error) {
 	if !r.Cat.HasSamples() {
 		return nil, fmt.Errorf("core: catalog has no samples; call BuildSamples before re-optimizing")
 	}
@@ -173,7 +197,7 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache *sampl
 // producing p this round (zero for a handed-in seed plan); sampling
 // time is measured as wall time around the estimator call, like
 // Reoptimize, so multi-seed ReoptTime is comparable to single-seed.
-func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree, cache *sampling.ValidationCache, optTime time.Duration) error {
+func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree, cache sampling.Cache, optTime time.Duration) error {
 	round := Round{
 		Plan:              p,
 		Transform:         plan.Classify(prev, p),
@@ -181,7 +205,7 @@ func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.
 		OptimizeTime:      optTime,
 	}
 	t1 := time.Now()
-	est, err := estimatePlanFn(p, r.Cat, cache, r.Opts.Workers)
+	est, err := r.estimateBatched(prev, p, cache)
 	if err != nil {
 		return err
 	}

@@ -18,13 +18,13 @@ import (
 // before every loop observes the exhausted budget and stops.
 func TestMultiSeedHonorsTimeout(t *testing.T) {
 	r, qs := ottSetup(t)
-	orig := estimatePlanFn
-	defer func() { estimatePlanFn = orig }()
+	orig := estimatePlansFn
+	defer func() { estimatePlansFn = orig }()
 	calls := 0
-	estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, cache *sampling.ValidationCache, workers int) (*sampling.Estimate, error) {
+	estimatePlansFn = func(ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, workers int) ([]*sampling.Estimate, error) {
 		calls++
 		time.Sleep(5 * time.Millisecond)
-		return orig(p, c, cache, workers)
+		return orig(ps, c, cache, workers)
 	}
 	r.Opts.Timeout = time.Millisecond
 	res, err := r.ReoptimizeMultiSeed(qs[0], 4)
@@ -34,11 +34,13 @@ func TestMultiSeedHonorsTimeout(t *testing.T) {
 	if res.Final == nil {
 		t.Fatal("timeout run must still return a best-so-far plan")
 	}
-	// Seed 1 validates its P_1, and at most one more round before the
-	// rounds loop sees the spent budget; the seeds loop must then stop
-	// instead of running the remaining seeds.
+	// The shared round-1 warm batch must be skipped under a timeout (it
+	// would validate every candidate before any budget check), so seed
+	// 1 validates its P_1 and at most one more round before the rounds
+	// loop sees the spent budget; the seeds loop must then stop instead
+	// of running the remaining seeds.
 	if calls > 2 {
-		t.Errorf("timeout ignored: %d validations ran, want at most 2", calls)
+		t.Errorf("timeout ignored: %d validation calls ran, want at most 2", calls)
 	}
 }
 

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"reopt/internal/catalog"
@@ -49,6 +50,13 @@ type Options struct {
 	// selects GOMAXPROCS, 1 forces sequential execution. Estimates are
 	// byte-identical at every setting.
 	Workers int
+	// Cache optionally supplies a workload-level validation cache
+	// shared across queries: repeated or similar query instances reuse
+	// each other's validation counts (entries are LRU-bounded and
+	// invalidated by the catalog's sample epoch). nil keeps the default
+	// cache scoped to one re-optimization. Reuse never changes
+	// estimates, only when they are computed.
+	Cache *sampling.WorkloadCache
 }
 
 // Round records one iteration of Algorithm 1.
@@ -119,8 +127,9 @@ func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
 	// Cross-round validation cache: successive plans share most of their
 	// join subtrees, so later rounds reuse earlier rounds' sample counts
 	// and build-side hash tables instead of re-running the skeleton from
-	// scratch. The cache is scoped to this query and sample set.
-	cache := sampling.NewValidationCache()
+	// scratch. Scoped to this query and sample set unless Options.Cache
+	// promotes it to the workload level.
+	cache := r.runCache()
 
 	var prev *plan.Plan
 	var trees []plan.JoinTree
@@ -163,9 +172,13 @@ func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
 			OptimizeTime:      optTime,
 		}
 
-		// Validation (lines 9-10): Δ ← sampling; Γ ← Γ ∪ Δ.
+		// Validation (lines 9-10): Δ ← sampling; Γ ← Γ ∪ Δ. The
+		// candidate is batched with the previous round's plan: the pair
+		// shares one skeleton pass, and since the previous plan is fully
+		// cached, its presence costs only lookups while letting the
+		// engine fan the combined work out across workers.
 		t1 := time.Now()
-		est, err := estimatePlanFn(p, r.Cat, cache, r.Opts.Workers)
+		est, err := r.estimateBatched(prev, p, cache)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", i, err)
 		}
@@ -260,6 +273,39 @@ func splitKey(key string) []string {
 	return out
 }
 
-// estimatePlanFn indirects the sampling estimator for failure-injection
-// tests.
-var estimatePlanFn = sampling.EstimatePlanWorkers
+// runCache returns the validation cache for one re-optimization: the
+// configured workload-level cache, or a fresh per-run cache.
+func (r *Reoptimizer) runCache() sampling.Cache {
+	if r.Opts.Cache != nil {
+		return r.Opts.Cache
+	}
+	return sampling.NewValidationCache()
+}
+
+// estimateBatched validates the candidate plan, batched with the
+// previously validated plan when one exists (the two share one
+// partitioned skeleton pass; see sampling.EstimatePlans), and returns
+// the candidate's estimate — byte-identical to estimating it alone.
+// The previous plan is fully cached, so its presence costs lookups
+// while widening the combined work list the engine partitions; with
+// only one effective worker there is nothing to widen, so the
+// candidate goes alone.
+func (r *Reoptimizer) estimateBatched(prev, p *plan.Plan, cache sampling.Cache) (*sampling.Estimate, error) {
+	plans := []*plan.Plan{p}
+	workers := r.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if prev != nil && workers > 1 {
+		plans = []*plan.Plan{prev, p}
+	}
+	ests, err := estimatePlansFn(plans, r.Cat, cache, r.Opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return ests[len(ests)-1], nil
+}
+
+// estimatePlansFn indirects the batched sampling estimator for
+// failure-injection and cache-equivalence tests.
+var estimatePlansFn = sampling.EstimatePlans

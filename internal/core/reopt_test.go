@@ -246,16 +246,16 @@ func TestReoptimizeRequiresSamples(t *testing.T) {
 // errors rather than silent mis-optimization.
 func TestSamplingFailureInjection(t *testing.T) {
 	r, qs := ottSetup(t)
-	orig := estimatePlanFn
-	defer func() { estimatePlanFn = orig }()
+	orig := estimatePlansFn
+	defer func() { estimatePlansFn = orig }()
 	boom := errors.New("injected sampling failure")
-	estimatePlanFn = func(p *plan.Plan, c *catalog.Catalog, cache *sampling.ValidationCache, _ int) (*sampling.Estimate, error) {
+	estimatePlansFn = func(ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, _ int) ([]*sampling.Estimate, error) {
 		return nil, boom
 	}
 	if _, err := r.Reoptimize(qs[0]); !errors.Is(err, boom) {
 		t.Fatalf("expected injected failure, got %v", err)
 	}
-	estimatePlanFn = orig
+	estimatePlansFn = orig
 	if _, err := r.Reoptimize(qs[0]); err != nil {
 		t.Fatalf("baseline path failed after restore: %v", err)
 	}

@@ -1,0 +1,75 @@
+package executor
+
+import (
+	"testing"
+
+	"reopt/internal/rel"
+)
+
+// TestJoinConcatAllocsGuard: the row arena must hold the general
+// executor's join output to well under one allocation per output row
+// (pre-arena, every Concat was one). The guard is deliberately loose —
+// 0.5 allocs per final output row, against a historical baseline above
+// 1.0 — so it catches a regression to per-row allocation without
+// flaking on iterator-construction noise.
+func TestJoinConcatAllocsGuard(t *testing.T) {
+	cat := skelCatalog(t, 2, 400)
+	q := skelQuery()
+	p := skelPlans(cat, q)[0]
+	res, err := Run(p, cat, Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count < 1000 {
+		t.Fatalf("workload too small to measure: %d output rows", res.Count)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Run(p, cat, Options{CountOnly: true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perRow := allocs / float64(res.Count); perRow > 0.5 {
+		t.Errorf("join output costs %.2f allocs/row (%.0f allocs for %d rows); arena regression?",
+			perRow, allocs, res.Count)
+	}
+}
+
+// TestRowArenaRowsStayValid: rows carved from one arena must remain
+// intact as later rows are carved (including across slab boundaries),
+// and appending to a returned row must not stomp its neighbor.
+func TestRowArenaRowsStayValid(t *testing.T) {
+	var a rowArena
+	l := rel.Row{rel.Int(1), rel.Int(2)}
+	n := arenaSlabValues // enough rows to cross several slab boundaries
+	rows := make([]rel.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = a.concat(l, rel.Row{rel.Int(int64(i))})
+	}
+	probe := append(rows[0], rel.Int(99)) // must copy, not overwrite rows[1]
+	_ = probe
+	for i := 0; i < n; i++ {
+		if len(rows[i]) != 3 || rows[i][0].AsInt() != 1 || rows[i][2].AsInt() != int64(i) {
+			t.Fatalf("row %d corrupted: %v", i, rows[i])
+		}
+	}
+}
+
+// BenchmarkExecutorJoinRows measures the general executor's
+// per-output-row cost on a three-way hash join (count-only mode still
+// materializes every join output row through the iterators) — the
+// allocs/op series guarding the arena across PRs.
+func BenchmarkExecutorJoinRows(b *testing.B) {
+	cat := skelCatalog(b, 2, 400)
+	q := skelQuery()
+	p := skelPlans(cat, q)[0]
+	if _, err := Run(p, cat, Options{CountOnly: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, cat, Options{CountOnly: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

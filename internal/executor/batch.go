@@ -1,0 +1,632 @@
+package executor
+
+// Batched multi-plan count-skeleton execution.
+//
+// CountSkeletonBatch evaluates several plans' count-only skeletons as
+// one job. Validating plans one at a time leaves two kinds of work on
+// the table: subtrees shared *between* the submitted plans are executed
+// once per plan (the cross-round cache only helps the plans validated
+// after the first), and the partitioned loops of each individual plan
+// rarely fan out, because per-table samples are a few hundred rows —
+// below the single-plan engine's fixed per-pass fan-out threshold.
+//
+// The batch engine fixes both. Every subtree of every plan becomes one
+// *task*, deduplicated across plans by canonical signature plus
+// boundary-column set (the same key the cache uses), so a subtree
+// shared by five candidate plans is executed once. Tasks are grouped
+// into waves by join depth — all leaf scans, then joins whose inputs
+// are done, and so on — and each wave's work (every task's filter
+// passes, selection materializations, gathers, hash-table builds, and
+// probes) forms one combined work list, partitioned into contiguous
+// spans whose size derives from the wave's *total* rows divided by the
+// worker count (adaptiveChunk). A worker pool drains the list, so
+// Options.Workers pays off even when each individual sample is far
+// below the single-plan fan-out threshold: parallelism comes from the
+// batch, not from any one scan.
+//
+// Determinism: every parallel unit writes private state (a span of a
+// task's bitmap or selection vector, a private probe part), and all
+// merges happen sequentially in task creation order with spans merged
+// in ascending row order — so counts and materialized columns are
+// byte-identical to running the single-plan engine over the same plans
+// sequentially, at every worker count and cache state.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+	"reopt/internal/storage"
+	"reopt/internal/vec"
+)
+
+// CountSkeletonBatch computes the per-node output counts of several
+// count-only skeletons in one deduplicated, partitioned pass. It
+// returns one counts map per plan, positionally. A plan outside the
+// engine's contract yields a nil map and an ErrSkeletonUnsupported
+// error in its perPlan slot while the remaining plans still execute
+// (callers fall back to the general executor for just that plan); a
+// runtime failure (e.g. the binder cannot resolve a table) aborts the
+// whole batch via err. cache may be nil; workers <= 0 selects
+// GOMAXPROCS. Counts are byte-identical to sequential CountSkeleton
+// runs over the same cache at every worker count.
+func CountSkeletonBatch(plans []*plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) (counts []map[plan.Node]int64, perPlan []error, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		// One worker means the combined work list cannot fan out, so the
+		// batch machinery (task graph, span closures, per-task bitmaps)
+		// would be pure overhead. The single-plan engine over the shared
+		// cache computes identical counts — cross-plan reuse still comes
+		// from the cache — with reusable per-engine scratch.
+		counts = make([]map[plan.Node]int64, len(plans))
+		perPlan = make([]error, len(plans))
+		for i, p := range plans {
+			c, cerr := CountSkeletonWorkers(p, binder, cache, 1)
+			if cerr != nil {
+				if errors.Is(cerr, ErrSkeletonUnsupported) {
+					perPlan[i] = cerr
+					continue
+				}
+				return nil, nil, cerr
+			}
+			counts[i] = c
+		}
+		return counts, perPlan, nil
+	}
+	b := &batchBuilder{cache: cache, tasks: map[string]*batchTask{}}
+	nodeTasks := make([]map[plan.Node]*batchTask, len(plans))
+	perPlan = make([]error, len(plans))
+	for i, p := range plans {
+		m := map[plan.Node]*batchTask{}
+		if _, berr := b.taskFor(p.Root, p.Query, m); berr != nil {
+			// Tasks already created for this plan's subtrees stay in the
+			// batch: they are valid work, and other plans may share them.
+			perPlan[i] = berr
+			continue
+		}
+		nodeTasks[i] = m
+	}
+
+	// Group tasks into waves by join depth; creation order within a
+	// wave keeps scheduling and merging deterministic.
+	maxWave := 0
+	for _, t := range b.order {
+		if t.wave > maxWave {
+			maxWave = t.wave
+		}
+	}
+	waves := make([][]*batchTask, maxWave+1)
+	for _, t := range b.order {
+		waves[t.wave] = append(waves[t.wave], t)
+	}
+	for w, wave := range waves {
+		if len(wave) == 0 {
+			continue
+		}
+		if w == 0 {
+			err = runScanWave(wave, binder, cache, workers)
+		} else {
+			err = runJoinWave(wave, cache, workers)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	counts = make([]map[plan.Node]int64, len(plans))
+	for i := range plans {
+		if perPlan[i] != nil {
+			continue
+		}
+		m := make(map[plan.Node]int64, len(nodeTasks[i]))
+		for n, t := range nodeTasks[i] {
+			m[n] = int64(t.sub.count)
+		}
+		counts[i] = m
+	}
+	return counts, perPlan, nil
+}
+
+// batchTask is one deduplicated logical subtree of the batch. Exactly
+// one of scan/join is set; left/right are set for joins.
+type batchTask struct {
+	seq  int    // creation order
+	key  string // dedupe key: signature + boundary refs
+	ckey string // cache key (prefix-qualified); "" when uncached
+	q    *sql.Query
+	refs []sql.ColRef
+	wave int
+
+	scan        *plan.ScanNode
+	join        *plan.JoinNode
+	left, right *batchTask
+
+	// Build-time resolution (also the per-plan unsupported check).
+	filterPos []int // scan: schema position of each filter column
+	boundPos  []int // scan: schema position of each boundary column
+	preds     []sql.JoinPred
+	lkey      []int
+	rkey      []int
+	gather    []gatherSrc
+
+	sub *subResult // the result, once the task's wave has run
+
+	// Wave-execution scratch, released in the wave's final stage.
+	cs     *storage.ColStore
+	nrows  int
+	passes []scanPass
+	bm, fb *vec.Bitmap
+	spans  []span
+	cnts   []int
+	sel    []int32
+	cols   [][]rel.Value
+	table  map[uint64][]int32
+	tkey   string
+	parts  []probePart
+	pspans []span
+}
+
+// probePart is one span's private probe output.
+type probePart struct {
+	count int
+	cols  [][]rel.Value
+}
+
+// batchBuilder deduplicates subtrees across the submitted plans.
+type batchBuilder struct {
+	cache *SkeletonCache
+	tasks map[string]*batchTask
+	order []*batchTask
+}
+
+// refsSuffix renders a boundary-column set for dedupe keys, sharing
+// the cache key's serialization (appendRefs) so the two never diverge.
+func refsSuffix(refs []sql.ColRef) string {
+	return string(appendRefs(nil, refs))
+}
+
+// taskFor returns the (possibly shared) task computing node n of query
+// q, creating it — and recursively its children — on first encounter.
+// All unsupported-shape detection happens here, before any execution,
+// so one bad plan never aborts the batch. m records the node→task
+// mapping for the plan being built.
+func (b *batchBuilder) taskFor(n plan.Node, q *sql.Query, m map[plan.Node]*batchTask) (*batchTask, error) {
+	switch t := n.(type) {
+	case *plan.ScanNode:
+		refs := boundaryColumns(q, []string{t.Alias})
+		sig := subtreeSig(t)
+		key := sig + refsSuffix(refs)
+		if bt, ok := b.tasks[key]; ok {
+			m[n] = bt
+			return bt, nil
+		}
+		bt := &batchTask{seq: len(b.order), key: key, q: q, refs: refs, scan: t}
+		if b.cache != nil {
+			bt.ckey = b.cache.subKey(sig, refs)
+		}
+		bt.filterPos = make([]int, len(t.Filters))
+		for fi, f := range t.Filters {
+			pos, err := t.OutSchema.IndexOf(f.Col.Table, f.Col.Column)
+			if err != nil {
+				return nil, fmt.Errorf("executor: skeleton scan %s: filter column %s: %v: %w",
+					t.Alias, f.Col, err, ErrSkeletonUnsupported)
+			}
+			bt.filterPos[fi] = pos
+		}
+		bt.boundPos = make([]int, len(refs))
+		for k, ref := range refs {
+			pos, err := t.OutSchema.IndexOf(ref.Table, ref.Column)
+			if err != nil {
+				return nil, fmt.Errorf("executor: skeleton scan %s: boundary column %s.%s: %v: %w",
+					t.Alias, ref.Table, ref.Column, err, ErrSkeletonUnsupported)
+			}
+			bt.boundPos[k] = pos
+		}
+		b.tasks[key] = bt
+		b.order = append(b.order, bt)
+		m[n] = bt
+		return bt, nil
+
+	case *plan.JoinNode:
+		l, err := b.taskFor(t.Left, q, m)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.taskFor(t.Right, q, m)
+		if err != nil {
+			return nil, err
+		}
+		refs := boundaryColumns(q, t.Aliases())
+		sig := subtreeSig(t)
+		key := sig + refsSuffix(refs)
+		if bt, ok := b.tasks[key]; ok {
+			m[n] = bt
+			return bt, nil
+		}
+		bt := &batchTask{
+			seq: len(b.order), key: key, q: q, refs: refs,
+			join: t, left: l, right: r,
+		}
+		bt.wave = l.wave + 1
+		if r.wave >= l.wave {
+			bt.wave = r.wave + 1
+		}
+		if b.cache != nil {
+			bt.ckey = b.cache.subKey(sig, refs)
+		}
+		bt.preds, bt.lkey, bt.rkey, err = joinKeys(t.Preds, l.refs, r.refs)
+		if err != nil {
+			return nil, err
+		}
+		bt.gather, err = gatherPlan(refs, l.refs, r.refs)
+		if err != nil {
+			return nil, err
+		}
+		b.tasks[key] = bt
+		b.order = append(b.order, bt)
+		m[n] = bt
+		return bt, nil
+
+	default:
+		return nil, fmt.Errorf("executor: cannot evaluate %T: %w", n, ErrSkeletonUnsupported)
+	}
+}
+
+// --- Combined work-list scheduling ---
+
+// maxChunkRows bounds a batch span from above: beyond it, larger spans
+// only worsen load balancing across heterogeneous tasks.
+const maxChunkRows = 4096
+
+// adaptiveChunk sizes the spans of one wave's combined work list from
+// the wave's total row count: a quarter of the per-worker share (the
+// oversubscription smooths out tasks of uneven size), clamped to
+// [vec.WordBits, maxChunkRows] and rounded up to a bitmap-word
+// multiple so concurrent spans of one bitmap never share a word. This
+// replaces the single-plan engine's fixed per-pass minChunkRows: a
+// 300-row sample that never fans out alone still splits across workers
+// when it is the only work, and packs with its batch peers otherwise.
+func adaptiveChunk(total, workers int) int {
+	c := total / (workers * 4)
+	if c > maxChunkRows {
+		c = maxChunkRows
+	}
+	if c < vec.WordBits {
+		c = vec.WordBits
+	}
+	return (c + vec.WordBits - 1) &^ (vec.WordBits - 1)
+}
+
+// chunkSpans splits [0, n) into contiguous spans of the given chunk
+// size (the last may be short). chunk must be a bitmap-word multiple.
+func chunkSpans(n, chunk int) []span {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]span, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, span{lo, hi})
+	}
+	return out
+}
+
+// runPool drains units across up to workers goroutines. Units must
+// write disjoint state; completion order is irrelevant to the result.
+func runPool(workers int, units []func()) {
+	if len(units) == 0 {
+		return
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			u()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				units[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// --- Scan wave ---
+
+// passCacheKey identifies one compiled filter conjunct: compiling is
+// per (table, predicate), so the batch compiles each table's union of
+// scan filters exactly once no matter how many plans scan it.
+type passCacheKey struct {
+	table  string
+	filter string
+}
+
+// runScanWave executes all leaf-scan tasks of the batch: sequential
+// setup (cache probes, binding, one-time filter compilation), then
+// three combined parallel phases — filter bitmaps, selection-vector
+// materialization, boundary-column gathers — each a single span list
+// over every pending task.
+func runScanWave(tasks []*batchTask, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) error {
+	passCache := map[passCacheKey][]scanPass{}
+	var pending []*batchTask
+	total := 0
+	for _, t := range tasks {
+		if cache != nil {
+			if sub, ok := cache.getSub(t.ckey); ok {
+				t.sub = sub
+				continue
+			}
+		}
+		tab, err := binder(t.scan.Table)
+		if err != nil {
+			return err
+		}
+		t.cs = tab.ColData()
+		t.nrows = t.cs.NumRows()
+		for fi, f := range t.scan.Filters {
+			pk := passCacheKey{t.scan.Table, f.String()}
+			ps, ok := passCache[pk]
+			if !ok {
+				ps = appendFilterPasses(nil, t.cs.Col(t.filterPos[fi]), f)
+				passCache[pk] = ps
+			}
+			t.passes = append(t.passes, ps...)
+		}
+		pending = append(pending, t)
+		total += t.nrows
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	chunk := adaptiveChunk(total, workers)
+
+	// Phase 1: filter passes over every task's rows, one combined span
+	// list. Identity scans (no filters) fill their selection vector
+	// directly. Per-span counts feed the offsets below.
+	var units []func()
+	for _, t := range pending {
+		t := t
+		t.spans = chunkSpans(t.nrows, chunk)
+		if len(t.passes) > 0 {
+			t.bm = vec.NewBitmap(t.nrows)
+			if len(t.passes) > 1 {
+				t.fb = vec.NewBitmap(t.nrows)
+			}
+			t.cnts = make([]int, len(t.spans))
+			for si := range t.spans {
+				si := si
+				units = append(units, func() {
+					s := t.spans[si]
+					t.passes[0](t.bm, s.lo, s.hi)
+					for _, pass := range t.passes[1:] {
+						pass(t.fb, s.lo, s.hi)
+						t.bm.And(t.fb, s.lo, s.hi)
+					}
+					t.cnts[si] = t.bm.Count(s.lo, s.hi)
+				})
+			}
+		} else {
+			t.sel = make([]int32, t.nrows)
+			for si := range t.spans {
+				si := si
+				units = append(units, func() {
+					s := t.spans[si]
+					for i := s.lo; i < s.hi; i++ {
+						t.sel[i] = int32(i)
+					}
+				})
+			}
+		}
+	}
+	runPool(workers, units)
+
+	// Phase 2: materialize surviving row ids, spans writing disjoint
+	// ranges at precomputed offsets so the result is in ascending row
+	// order regardless of completion order.
+	units = units[:0]
+	for _, t := range pending {
+		if len(t.passes) == 0 {
+			continue
+		}
+		t := t
+		totalSel := 0
+		offs := make([]int, len(t.spans))
+		for si, c := range t.cnts {
+			offs[si] = totalSel
+			totalSel += c
+		}
+		t.sel = make([]int32, totalSel)
+		for si := range t.spans {
+			if t.cnts[si] == 0 {
+				continue
+			}
+			si, off, cnt := si, offs[si], t.cnts[si]
+			units = append(units, func() {
+				s := t.spans[si]
+				t.bm.AppendIndices(t.sel[off:off:off+cnt], s.lo, s.hi)
+			})
+		}
+	}
+	runPool(workers, units)
+
+	// Phase 3: gather boundary columns for the surviving rows.
+	units = units[:0]
+	for _, t := range pending {
+		t := t
+		t.cols = make([][]rel.Value, len(t.refs))
+		for k := range t.refs {
+			t.cols[k] = make([]rel.Value, len(t.sel))
+		}
+		if len(t.refs) == 0 || len(t.sel) == 0 {
+			continue
+		}
+		for _, s := range chunkSpans(len(t.sel), chunk) {
+			s := s
+			units = append(units, func() {
+				gatherCols(t.cs, t.boundPos, t.cols, t.sel, s.lo, s.hi)
+			})
+		}
+	}
+	runPool(workers, units)
+
+	for _, t := range pending {
+		t.sub = &subResult{sig: t.ckey, count: len(t.sel), refs: t.refs, cols: t.cols}
+		if cache != nil {
+			cache.putSub(t.ckey, t.sub)
+		}
+		t.cs, t.passes, t.bm, t.fb = nil, nil, nil, nil
+		t.spans, t.cnts, t.sel, t.cols = nil, nil, nil, nil
+	}
+	return nil
+}
+
+// --- Join waves ---
+
+// tableBuildKey identifies one build-side hash table: the build input
+// and the key columns over it. Distinct joins probing the same build
+// side share one build even when their predicates differ textually.
+type tableBuildKey struct {
+	r    *subResult
+	keys string
+}
+
+// tableBuild is one deduplicated hash-table construction and the tasks
+// awaiting it.
+type tableBuild struct {
+	r     *subResult
+	rkey  []int
+	table map[uint64][]int32
+	users []*batchTask
+}
+
+func intsKey(xs []int) string {
+	b := make([]byte, 0, len(xs)*3)
+	for _, x := range xs {
+		b = append(b, byte(x), byte(x>>8), ',')
+	}
+	return string(b)
+}
+
+// runJoinWave executes one depth level of join tasks: sequential cache
+// probes and key resolution, parallel deduplicated hash-table builds,
+// then one combined probe span list, merged per task in span order.
+func runJoinWave(tasks []*batchTask, cache *SkeletonCache, workers int) error {
+	var pending []*batchTask
+	total := 0
+	for _, t := range tasks {
+		if cache != nil {
+			if sub, ok := cache.getSub(t.ckey); ok {
+				t.sub = sub
+				continue
+			}
+			t.tkey = hashTableKey(t.right.sub.sig, t.preds)
+			t.table = cache.getTable(t.tkey)
+		}
+		pending = append(pending, t)
+		total += t.left.sub.count
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	chunk := adaptiveChunk(total, workers)
+
+	// Phase 1: build the missing hash tables, deduplicated by (build
+	// input, key columns) and run in parallel across tasks — each build
+	// itself stays sequential for deterministic bucket order.
+	builds := map[tableBuildKey]*tableBuild{}
+	var buildOrder []*tableBuild
+	for _, t := range pending {
+		if t.table != nil {
+			continue
+		}
+		bk := tableBuildKey{t.right.sub, intsKey(t.rkey)}
+		tb, ok := builds[bk]
+		if !ok {
+			tb = &tableBuild{r: t.right.sub, rkey: t.rkey}
+			builds[bk] = tb
+			buildOrder = append(buildOrder, tb)
+		}
+		tb.users = append(tb.users, t)
+	}
+	units := make([]func(), 0, len(buildOrder))
+	for _, tb := range buildOrder {
+		tb := tb
+		units = append(units, func() {
+			tb.table = buildHashTable(tb.r, tb.rkey)
+		})
+	}
+	runPool(workers, units)
+	for _, tb := range buildOrder {
+		for _, t := range tb.users {
+			t.table = tb.table
+			if cache != nil {
+				cache.putTable(t.right.sub.sig, t.tkey, tb.table)
+			}
+		}
+	}
+
+	// Phase 2: one combined probe span list over every pending task's
+	// left rows; each span fills a private part.
+	units = units[:0]
+	for _, t := range pending {
+		t := t
+		t.pspans = chunkSpans(t.left.sub.count, chunk)
+		t.parts = make([]probePart, len(t.pspans))
+		for si := range t.pspans {
+			si := si
+			units = append(units, func() {
+				s := t.pspans[si]
+				part := &t.parts[si]
+				part.cols = make([][]rel.Value, len(t.gather))
+				part.count = probeRange(t.left.sub, t.right.sub, t.table,
+					t.lkey, t.rkey, t.gather, part.cols, s.lo, s.hi)
+			})
+		}
+	}
+	runPool(workers, units)
+
+	// Merge in span order: identical to a sequential probe.
+	for _, t := range pending {
+		count := 0
+		for pi := range t.parts {
+			count += t.parts[pi].count
+		}
+		outCols := make([][]rel.Value, len(t.gather))
+		for k := range t.gather {
+			merged := make([]rel.Value, 0, count)
+			for pi := range t.parts {
+				merged = append(merged, t.parts[pi].cols[k]...)
+			}
+			outCols[k] = merged
+		}
+		t.sub = &subResult{sig: t.ckey, count: count, refs: t.refs, cols: outCols}
+		if cache != nil {
+			cache.putSub(t.ckey, t.sub)
+		}
+		t.table, t.parts, t.pspans = nil, nil, nil
+	}
+	return nil
+}

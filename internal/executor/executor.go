@@ -193,6 +193,41 @@ type iterator interface {
 	next() (rel.Row, bool)
 }
 
+// arenaSlabValues sizes the backing slabs join iterators allocate their
+// output rows from: large enough to amortize one slab allocation over
+// hundreds of typical join rows, small enough that a query's final
+// partially-filled slab wastes little.
+const arenaSlabValues = 4096
+
+// rowArena carves join output rows out of large value slabs, replacing
+// rel.Row.Concat's one heap allocation per output row. Rows stay valid
+// indefinitely — the slab lives as long as any row carved from it, and
+// a fresh slab starts whenever the current one is full — so consumers
+// that retain rows (materializing joins, aggregates, Run's output) are
+// unaffected. The full-capacity slice expression keeps an append on a
+// returned row from stomping its right neighbor. One arena serves one
+// iterator: arenas are not safe for concurrent use, matching the
+// single-threaded Volcano loop.
+type rowArena struct {
+	slab []rel.Value
+}
+
+// concat returns l followed by r as an arena-backed row.
+func (a *rowArena) concat(l, r rel.Row) rel.Row {
+	n := len(l) + len(r)
+	if cap(a.slab)-len(a.slab) < n {
+		size := arenaSlabValues
+		if n > size {
+			size = n
+		}
+		a.slab = make([]rel.Value, 0, size)
+	}
+	off := len(a.slab)
+	a.slab = append(a.slab, l...)
+	a.slab = append(a.slab, r...)
+	return rel.Row(a.slab[off : off+n : off+n])
+}
+
 // counted wraps an iterator to record per-node output counts. Rows are
 // tallied in a local counter and flushed into the NodeRows map when the
 // iterator is exhausted, replacing a map increment per tuple with one
@@ -427,6 +462,7 @@ type nestLoopIter struct {
 	inner      []rel.Row
 	lidx, ridx []int
 	ctr        *Counters
+	arena      rowArena
 
 	cur    rel.Row
 	curOK  bool
@@ -455,7 +491,7 @@ func (n *nestLoopIter) next() (rel.Row, bool) {
 				}
 			}
 			if match {
-				return n.cur.Concat(r), true
+				return n.arena.concat(n.cur, r), true
 			}
 		}
 		n.curOK = false
@@ -478,6 +514,7 @@ type hashJoinIter struct {
 	lidx, ridx []int
 	ctr        *Counters
 	table      map[uint64][]hashGroup
+	arena      rowArena
 
 	cur     rel.Row
 	matches []rel.Row
@@ -542,7 +579,7 @@ func (h *hashJoinIter) next() (rel.Row, bool) {
 		if h.matchI < len(h.matches) {
 			r := h.matches[h.matchI]
 			h.matchI++
-			return h.cur.Concat(r), true
+			return h.arena.concat(h.cur, r), true
 		}
 		row, ok := h.left.next()
 		if !ok {
@@ -619,6 +656,7 @@ func newMergeJoin(left, right iterator, lidx, ridx []int, ctr *Counters) *mergeJ
 		}
 		return 0
 	}
+	var arena rowArena
 	var out []rel.Row
 	i, j := 0, 0
 	for i < len(lrows) && j < len(rrows) {
@@ -647,7 +685,7 @@ func newMergeJoin(left, right iterator, lidx, ridx []int, ctr *Counters) *mergeJ
 			for a := i; a < i2; a++ {
 				for b := j; b < j2; b++ {
 					ctr.Tuples++
-					out = append(out, lrows[a].Concat(rrows[b]))
+					out = append(out, arena.concat(lrows[a], rrows[b]))
 				}
 			}
 			i, j = i2, j2
@@ -756,6 +794,7 @@ type indexNLIter struct {
 	extraL   []int // remaining predicate positions (left)
 	extraR   []int // remaining predicate positions (inner table row)
 	ctr      *Counters
+	arena    rowArena
 
 	cur     rel.Row
 	matches []int
@@ -829,7 +868,7 @@ func (ix *indexNLIter) next() (rel.Row, bool) {
 				}
 			}
 			if match {
-				return ix.cur.Concat(row), true
+				return ix.arena.concat(ix.cur, row), true
 			}
 		}
 		ix.haveCur = false

@@ -1,0 +1,205 @@
+package executor
+
+// SkeletonCache: the carrier of count-skeleton validation work across
+// plans. Two scopes exist:
+//
+//   - per-re-optimization (NewSkeletonCache): unbounded, because one
+//     query's subtrees are few and the cache dies with the
+//     re-optimization;
+//   - workload-level (NewSkeletonCacheLRU): shared across queries of a
+//     catalog, bounded by an entry budget with least-recently-used
+//     eviction, and namespaced by a caller-set key prefix (the
+//     catalog's sample epoch) so refreshed samples never serve counts
+//     observed on their predecessors.
+//
+// Entries are keyed by the subtree's canonical signature (relation set
+// plus every predicate applied within it) *and* its boundary-column
+// set. The signature alone identifies the logical sub-result's count,
+// but the materialized columns depend on which columns enclosing joins
+// may probe — a property of the whole query, not the subtree — so two
+// queries sharing a subtree but joining it differently must not share
+// the materialization. Build-side hash tables are registered under the
+// sub-result they index; evicting a sub-result evicts its tables.
+
+import (
+	"container/list"
+	"sync"
+
+	"reopt/internal/sql"
+)
+
+// SkeletonCache carries validation work across skeleton runs: subtree
+// sub-results and build-side hash tables, keyed so that two plans'
+// subtrees share an entry exactly when they compute the same logical
+// sub-result with the same boundary columns over the same samples.
+type SkeletonCache struct {
+	mu     sync.Mutex
+	prefix string
+	limit  int // max sub-result entries; 0 = unbounded
+	subs   map[string]*list.Element
+	lru    *list.List // front = most recently used
+	tables map[string]map[uint64][]int32
+
+	hits, misses int64
+}
+
+// skelCacheEntry is one cached sub-result plus the keys of the hash
+// tables built over it (dropped together on eviction).
+type skelCacheEntry struct {
+	key       string
+	sub       *subResult
+	tableKeys []string
+}
+
+// NewSkeletonCache returns an empty, unbounded cache (the
+// per-re-optimization scope).
+func NewSkeletonCache() *SkeletonCache { return NewSkeletonCacheLRU(0) }
+
+// NewSkeletonCacheLRU returns an empty cache that holds at most limit
+// sub-results, evicting least-recently-used entries (and the hash
+// tables built over them) beyond that; limit <= 0 means unbounded.
+func NewSkeletonCacheLRU(limit int) *SkeletonCache {
+	if limit < 0 {
+		limit = 0
+	}
+	return &SkeletonCache{
+		limit:  limit,
+		subs:   make(map[string]*list.Element),
+		lru:    list.New(),
+		tables: make(map[string]map[uint64][]int32),
+	}
+}
+
+// SetPrefix namespaces subsequently built keys. Callers that share one
+// cache across sample sets (sampling.WorkloadCache) set it to the
+// catalog's sample epoch before each run; entries built under other
+// prefixes become unreachable and age out of the LRU.
+func (c *SkeletonCache) SetPrefix(p string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.prefix = p
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached sub-results (diagnostics).
+func (c *SkeletonCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.subs)
+}
+
+// Stats reports sub-result lookup hits and misses (diagnostics).
+func (c *SkeletonCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// appendRefs appends the canonical rendering of a boundary-column set.
+// It is the single source of that format: subKey (cache keys) and the
+// batch engine's dedupe keys must serialize refs byte-identically, or
+// task dedup and cache lookup would silently diverge.
+func appendRefs(b []byte, refs []sql.ColRef) []byte {
+	b = append(b, "|B:"...)
+	for _, r := range refs {
+		b = append(b, r.Table...)
+		b = append(b, '.')
+		b = append(b, r.Column...)
+		b = append(b, ',')
+	}
+	return b
+}
+
+// subKey builds the cache key for a subtree: prefix (sample epoch
+// namespace), canonical signature, and the boundary-column set the
+// enclosing query requires of it.
+func (c *SkeletonCache) subKey(sig string, refs []sql.ColRef) string {
+	c.mu.Lock()
+	p := c.prefix
+	c.mu.Unlock()
+	n := len(p) + len(sig) + 3
+	for _, r := range refs {
+		n += len(r.Table) + len(r.Column) + 2
+	}
+	b := make([]byte, 0, n)
+	b = append(b, p...)
+	b = append(b, sig...)
+	return string(appendRefs(b, refs))
+}
+
+// getSub looks a sub-result up, refreshing its recency on a hit.
+func (c *SkeletonCache) getSub(key string) (*subResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.subs[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*skelCacheEntry).sub, true
+}
+
+// putSub inserts (or refreshes) a sub-result, evicting the
+// least-recently-used entries beyond the budget.
+func (c *SkeletonCache) putSub(key string, sub *subResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.subs[key]; ok {
+		el.Value.(*skelCacheEntry).sub = sub
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.subs[key] = c.lru.PushFront(&skelCacheEntry{key: key, sub: sub})
+	for c.limit > 0 && len(c.subs) > c.limit {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.evictLocked(oldest)
+	}
+}
+
+// evictLocked removes one entry and the hash tables built over it.
+func (c *SkeletonCache) evictLocked(el *list.Element) {
+	e := el.Value.(*skelCacheEntry)
+	c.lru.Remove(el)
+	delete(c.subs, e.key)
+	for _, tk := range e.tableKeys {
+		delete(c.tables, tk)
+	}
+}
+
+// getTable looks up a build-side hash table.
+func (c *SkeletonCache) getTable(key string) map[uint64][]int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tables[key]
+}
+
+// putTable caches a hash table, registering it under the sub-result it
+// indexes (subKey) so the two are evicted together. If that sub-result
+// is no longer cached — possible under a tight budget — the table is
+// not cached either, since nothing would ever evict it.
+func (c *SkeletonCache) putTable(subKey, tableKey string, t map[uint64][]int32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.subs[subKey]
+	if !ok {
+		return
+	}
+	e := el.Value.(*skelCacheEntry)
+	if _, dup := c.tables[tableKey]; !dup {
+		e.tableKeys = append(e.tableKeys, tableKey)
+	}
+	c.tables[tableKey] = t
+}

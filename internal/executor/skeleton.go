@@ -58,33 +58,9 @@ import (
 // silently degrading every validation to the slow path.
 var ErrSkeletonUnsupported = errors.New("plan shape unsupported by count skeleton")
 
-// SkeletonCache carries validation work across rounds of one
-// re-optimization. Entries are keyed by the canonical relation set plus
-// the predicate signature of the subtree, so two plans' subtrees share an
-// entry exactly when they compute the same logical sub-result.
-type SkeletonCache struct {
-	subs   map[string]*subResult
-	tables map[string]map[uint64][]int32
-}
-
-// NewSkeletonCache returns an empty cache.
-func NewSkeletonCache() *SkeletonCache {
-	return &SkeletonCache{
-		subs:   make(map[string]*subResult),
-		tables: make(map[string]map[uint64][]int32),
-	}
-}
-
-// Len returns the number of cached sub-results (diagnostics).
-func (c *SkeletonCache) Len() int {
-	if c == nil {
-		return 0
-	}
-	return len(c.subs)
-}
-
 // subResult is a materialized subtree: its output count and the boundary
-// columns, stored column-major.
+// columns, stored column-major. sig is the cache key the sub-result was
+// stored under (empty when the engine runs uncached).
 type subResult struct {
 	sig   string
 	count int
@@ -112,11 +88,12 @@ func CountSkeletonWorkers(p *plan.Plan, binder func(string) (*storage.Table, err
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &skelEngine{
-		q:       p.Query,
-		binder:  binder,
-		cache:   cache,
-		workers: workers,
-		counts:  make(map[plan.Node]int64),
+		q:        p.Query,
+		binder:   binder,
+		cache:    cache,
+		workers:  workers,
+		minChunk: minChunkRows,
+		counts:   make(map[plan.Node]int64),
 	}
 	if _, err := e.eval(p.Root); err != nil {
 		return nil, err
@@ -129,7 +106,13 @@ type skelEngine struct {
 	binder  func(string) (*storage.Table, error)
 	cache   *SkeletonCache
 	workers int
-	counts  map[plan.Node]int64
+	// minChunk is the smallest per-worker slice of rows worth a
+	// goroutine for this engine's partitioned loops. The single-plan
+	// entry points use the fixed minChunkRows; the batch engine derives
+	// it from the batch's total work instead (see adaptiveChunk), so
+	// samples too small to fan out alone still do inside a batch.
+	minChunk int
+	counts   map[plan.Node]int64
 
 	// Scratch reused across the nodes of one CountSkeleton call. Nodes
 	// evaluate strictly one at a time (parallelism lives *inside* a
@@ -230,13 +213,19 @@ func subtreeSig(n plan.Node) string {
 // query, never on the plan, which is what makes sub-results reusable
 // across join orders.
 func (e *skelEngine) boundaryFor(aliases []string) []sql.ColRef {
+	return boundaryColumns(e.q, aliases)
+}
+
+// boundaryColumns is boundaryFor as a free function, shared with the
+// batch engine (whose tasks may come from different queries).
+func boundaryColumns(q *sql.Query, aliases []string) []sql.ColRef {
 	in := make(map[string]bool, len(aliases))
 	for _, a := range aliases {
 		in[a] = true
 	}
 	seen := map[sql.ColRef]bool{}
 	var out []sql.ColRef
-	for _, p := range e.q.Joins {
+	for _, p := range q.Joins {
 		li, ri := in[p.Left.Table], in[p.Right.Table]
 		if li == ri {
 			continue // internal or fully external predicate
@@ -288,10 +277,10 @@ func (e *skelEngine) rowSpans(n int) []span {
 		e.spanBuf = append(out, span{0, 0})
 		return e.spanBuf
 	}
-	// Floor division: an input below 2*minChunkRows stays a single span
-	// (run inline), and no span is ever smaller than minChunkRows.
+	// Floor division: an input below 2*minChunk stays a single span
+	// (run inline), and no span is ever smaller than minChunk.
 	parts := e.workers
-	if m := n / minChunkRows; parts > m {
+	if m := n / e.minChunk; parts > m {
 		parts = m
 	}
 	if parts < 1 {
@@ -343,9 +332,11 @@ func runSpans(spans []span, fn func(part int, s span)) {
 // --- Leaf scans ---
 
 func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
-	sig := subtreeSig(t)
+	refs := e.boundaryFor([]string{t.Alias})
+	var key string
 	if e.cache != nil {
-		if sub, ok := e.cache.subs[sig]; ok {
+		key = e.cache.subKey(subtreeSig(t), refs)
+		if sub, ok := e.cache.getSub(key); ok {
 			return sub, nil
 		}
 	}
@@ -371,7 +362,6 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 		passes = appendFilterPasses(passes, cs.Col(pos), f)
 	}
 	e.passBuf = passes[:0]
-	refs := e.boundaryFor([]string{t.Alias})
 	poss := intsBuf(&e.posBuf, len(refs))
 	for k, ref := range refs {
 		pos, err := t.OutSchema.IndexOf(ref.Table, ref.Column)
@@ -405,9 +395,9 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 			})
 		}
 	}
-	sub := &subResult{sig: sig, count: len(sel), refs: refs, cols: cols}
+	sub := &subResult{sig: key, count: len(sel), refs: refs, cols: cols}
 	if e.cache != nil {
-		e.cache.subs[sig] = sub
+		e.cache.putSub(key, sub)
 	}
 	return sub, nil
 }
@@ -657,9 +647,11 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sig := subtreeSig(t)
+	outRefs := e.boundaryFor(t.Aliases())
+	var key string
 	if e.cache != nil {
-		if sub, ok := e.cache.subs[sig]; ok {
+		key = e.cache.subKey(subtreeSig(t), outRefs)
+		if sub, ok := e.cache.getSub(key); ok {
 			return sub, nil
 		}
 	}
@@ -667,21 +659,9 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 	// Key columns in canonical predicate order, so the build-side hash
 	// table is reusable regardless of how a plan happens to list the
 	// predicates.
-	preds := append([]sql.JoinPred(nil), t.Preds...)
-	sort.Slice(preds, func(i, j int) bool {
-		return preds[i].Canonical().String() < preds[j].Canonical().String()
-	})
-	lkey := make([]int, len(preds))
-	rkey := make([]int, len(preds))
-	for k, p := range preds {
-		li, ri := findRef(l.refs, p.Left), findRef(r.refs, p.Right)
-		if li < 0 || ri < 0 {
-			li, ri = findRef(l.refs, p.Right), findRef(r.refs, p.Left)
-		}
-		if li < 0 || ri < 0 {
-			return nil, fmt.Errorf("executor: cannot resolve join predicate %s: %w", p, ErrSkeletonUnsupported)
-		}
-		lkey[k], rkey[k] = li, ri
+	preds, lkey, rkey, err := joinKeys(t.Preds, l.refs, r.refs)
+	if err != nil {
+		return nil, err
 	}
 
 	// Build (or reuse) the hash table over the right side's key columns.
@@ -691,43 +671,20 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 	var table map[uint64][]int32
 	tkey := ""
 	if e.cache != nil {
-		var sb strings.Builder
-		sb.WriteString(r.sig)
-		sb.WriteString("||K:")
-		for _, p := range preds {
-			sb.WriteString(p.Canonical().String())
-			sb.WriteByte('&')
-		}
-		tkey = sb.String()
-		table = e.cache.tables[tkey]
+		tkey = hashTableKey(r.sig, preds)
+		table = e.cache.getTable(tkey)
 	}
 	if table == nil {
-		table = make(map[uint64][]int32)
-		for j := 0; j < r.count; j++ {
-			h, null := hashKeyAt(r.cols, rkey, j)
-			if null {
-				continue // NULL keys never match
-			}
-			table[h] = append(table[h], int32(j))
-		}
+		table = buildHashTable(r, rkey)
 		if e.cache != nil {
-			e.cache.tables[tkey] = table
+			e.cache.putTable(r.sig, tkey, table)
 		}
 	}
 
 	// Gather plan for the output boundary columns.
-	outRefs := e.boundaryFor(t.Aliases())
-	gather := make([]gatherSrc, len(outRefs))
-	for k, ref := range outRefs {
-		if li := findRef(l.refs, ref); li >= 0 {
-			gather[k] = gatherSrc{left: true, idx: li}
-			continue
-		}
-		ri := findRef(r.refs, ref)
-		if ri < 0 {
-			return nil, fmt.Errorf("executor: missing boundary column %s: %w", ref, ErrSkeletonUnsupported)
-		}
-		gather[k] = gatherSrc{left: false, idx: ri}
+	gather, err := gatherPlan(outRefs, l.refs, r.refs)
+	if err != nil {
+		return nil, err
 	}
 
 	// Probe, partitioned over the left side's rows. The hash table and
@@ -764,11 +721,80 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 			outCols[k] = merged
 		}
 	}
-	sub := &subResult{sig: sig, count: count, refs: outRefs, cols: outCols}
+	sub := &subResult{sig: key, count: count, refs: outRefs, cols: outCols}
 	if e.cache != nil {
-		e.cache.subs[sig] = sub
+		e.cache.putSub(key, sub)
 	}
 	return sub, nil
+}
+
+// joinKeys canonicalizes a join's predicates and resolves each to the
+// children's boundary-column indexes; an unresolvable predicate is an
+// unsupported shape (shared with the batch engine).
+func joinKeys(raw []sql.JoinPred, lrefs, rrefs []sql.ColRef) (preds []sql.JoinPred, lkey, rkey []int, err error) {
+	preds = append([]sql.JoinPred(nil), raw...)
+	sort.Slice(preds, func(i, j int) bool {
+		return preds[i].Canonical().String() < preds[j].Canonical().String()
+	})
+	lkey = make([]int, len(preds))
+	rkey = make([]int, len(preds))
+	for k, p := range preds {
+		li, ri := findRef(lrefs, p.Left), findRef(rrefs, p.Right)
+		if li < 0 || ri < 0 {
+			li, ri = findRef(lrefs, p.Right), findRef(rrefs, p.Left)
+		}
+		if li < 0 || ri < 0 {
+			return nil, nil, nil, fmt.Errorf("executor: cannot resolve join predicate %s: %w", p, ErrSkeletonUnsupported)
+		}
+		lkey[k], rkey[k] = li, ri
+	}
+	return preds, lkey, rkey, nil
+}
+
+// hashTableKey names the build-side hash table over sub-result rsig
+// keyed by the canonical predicates.
+func hashTableKey(rsig string, preds []sql.JoinPred) string {
+	var sb strings.Builder
+	sb.WriteString(rsig)
+	sb.WriteString("||K:")
+	for _, p := range preds {
+		sb.WriteString(p.Canonical().String())
+		sb.WriteByte('&')
+	}
+	return sb.String()
+}
+
+// buildHashTable builds the right side's hash table. The build is
+// sequential: bucket append order must be the row order for
+// deterministic output.
+func buildHashTable(r *subResult, rkey []int) map[uint64][]int32 {
+	table := make(map[uint64][]int32)
+	for j := 0; j < r.count; j++ {
+		h, null := hashKeyAt(r.cols, rkey, j)
+		if null {
+			continue // NULL keys never match
+		}
+		table[h] = append(table[h], int32(j))
+	}
+	return table
+}
+
+// gatherPlan resolves each output boundary column to the child side and
+// index it comes from (shared with the batch engine).
+func gatherPlan(outRefs, lrefs, rrefs []sql.ColRef) ([]gatherSrc, error) {
+	gather := make([]gatherSrc, len(outRefs))
+	for k, ref := range outRefs {
+		if li := findRef(lrefs, ref); li >= 0 {
+			gather[k] = gatherSrc{left: true, idx: li}
+			continue
+		}
+		ri := findRef(rrefs, ref)
+		if ri < 0 {
+			return nil, fmt.Errorf("executor: missing boundary column %s: %w", ref, ErrSkeletonUnsupported)
+		}
+		gather[k] = gatherSrc{left: false, idx: ri}
+	}
+	return gather, nil
 }
 
 // gatherSrc says where one output boundary column comes from: which

@@ -42,7 +42,7 @@ func (r *Runner) ottSeries(nTables int, calibrated bool, perRound bool) ([]query
 	}
 	out := make([]queryMetric, 0, len(qs))
 	for i, q := range qs {
-		qm, err := measureOne(cat, units, q, perRound)
+		qm, err := r.measureOne(cat, units, q, perRound)
 		if err != nil {
 			return nil, fmt.Errorf("ott n=%d query %d: %w", nTables, i+1, err)
 		}

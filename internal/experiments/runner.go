@@ -11,6 +11,7 @@ import (
 	"reopt/internal/cost"
 	"reopt/internal/executor"
 	"reopt/internal/optimizer"
+	"reopt/internal/sampling"
 	"reopt/internal/sql"
 	"reopt/internal/workload/ott"
 	"reopt/internal/workload/tpcds"
@@ -33,6 +34,16 @@ type Config struct {
 	// counts; 0 means 10 and 30 (as in the paper).
 	OTT4Count int
 	OTT5Count int
+	// Workers bounds each validation's skeleton-run parallelism
+	// (core.Options.Workers): 0 selects GOMAXPROCS, 1 forces sequential
+	// execution. Estimates are identical at every setting.
+	Workers int
+	// WorkloadCacheEntries, when positive, shares one workload-level
+	// validation cache (of that many subtree entries) across every
+	// query of the run: repeated and similar query instances reuse each
+	// other's validation counts. 0 keeps per-query caches — the paper's
+	// setting, where each query's overhead is measured cold.
+	WorkloadCacheEntries int
 	// Seed drives everything.
 	Seed int64
 }
@@ -68,6 +79,7 @@ type Runner struct {
 	tpchCats map[float64]*catalog.Catalog
 	ottCat   *catalog.Catalog
 	dsCat    *catalog.Catalog
+	wlCache  *sampling.WorkloadCache
 
 	tpchSeriesCache map[string]map[int]metrics
 	ottSeriesCache  map[string][]queryMetric
@@ -76,7 +88,13 @@ type Runner struct {
 
 // NewRunner returns a Runner over the config.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{cfg: cfg.withDefaults(), tpchCats: map[float64]*catalog.Catalog{}}
+	r := &Runner{cfg: cfg.withDefaults(), tpchCats: map[float64]*catalog.Catalog{}}
+	if r.cfg.WorkloadCacheEntries > 0 {
+		// One cache across every experiment and catalog is safe: entries
+		// are namespaced by the catalog's process-unique sample epoch.
+		r.wlCache = sampling.NewWorkloadCache(r.cfg.WorkloadCacheEntries)
+	}
+	return r
 }
 
 // CalibratedUnits runs (and caches) cost-unit calibration.
@@ -148,13 +166,13 @@ type metrics struct {
 
 // measureOne optimizes, re-optimizes, and executes one query under the
 // given cost units.
-func measureOne(cat *catalog.Catalog, units cost.Units, q *sql.Query, perRound bool) (queryMetric, error) {
-	return measureOneWith(cat, units, nil, q, perRound)
+func (r *Runner) measureOne(cat *catalog.Catalog, units cost.Units, q *sql.Query, perRound bool) (queryMetric, error) {
+	return r.measureOneWith(cat, units, nil, q, perRound)
 }
 
 // measureOneWith additionally accepts an estimation profile (nil means
 // the PostgreSQL-style default).
-func measureOneWith(cat *catalog.Catalog, units cost.Units, profile *optimizer.Profile, q *sql.Query, perRound bool) (queryMetric, error) {
+func (r *Runner) measureOneWith(cat *catalog.Catalog, units cost.Units, profile *optimizer.Profile, q *sql.Query, perRound bool) (queryMetric, error) {
 	cfg := optimizer.DefaultConfig()
 	cfg.Units = units
 	if profile != nil {
@@ -162,6 +180,8 @@ func measureOneWith(cat *catalog.Catalog, units cost.Units, profile *optimizer.P
 	}
 	opt := optimizer.New(cat, cfg)
 	reopt := core.New(opt, cat)
+	reopt.Opts.Workers = r.cfg.Workers
+	reopt.Opts.Cache = r.wlCache
 
 	var qm queryMetric
 	orig, err := opt.Optimize(q, nil)
@@ -201,11 +221,11 @@ func measureOneWith(cat *catalog.Catalog, units cost.Units, profile *optimizer.P
 }
 
 // measureSet runs measureOne for every query and aggregates.
-func measureSet(cat *catalog.Catalog, units cost.Units, queries []*sql.Query, perRound bool) (metrics, error) {
+func (r *Runner) measureSet(cat *catalog.Catalog, units cost.Units, queries []*sql.Query, perRound bool) (metrics, error) {
 	var m metrics
 	var origTimes, reoptTimes []float64
 	for _, q := range queries {
-		qm, err := measureOne(cat, units, q, perRound)
+		qm, err := r.measureOne(cat, units, q, perRound)
 		if err != nil {
 			return m, err
 		}

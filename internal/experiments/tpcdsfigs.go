@@ -30,7 +30,7 @@ func (r *Runner) dsSeries(calibrated bool) (map[string]metrics, error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := measureSet(cat, units, qs, false)
+		m, err := r.measureSet(cat, units, qs, false)
 		if err != nil {
 			return nil, fmt.Errorf("tpcds Q%s: %w", id, err)
 		}

@@ -31,7 +31,7 @@ func (r *Runner) tpchSeries(z float64, calibrated bool, perRound bool) (map[int]
 		if err != nil {
 			return nil, err
 		}
-		m, err := measureSet(cat, units, qs, perRound)
+		m, err := r.measureSet(cat, units, qs, perRound)
 		if err != nil {
 			return nil, fmt.Errorf("tpch z=%v Q%d: %w", z, id, err)
 		}

@@ -1,0 +1,207 @@
+package sampling
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/optimizer"
+	"reopt/internal/plan"
+	"reopt/internal/workload/ott"
+)
+
+// batchSetup builds an OTT catalog plus the optimized plans of several
+// query instances — the workload shape (similar queries over one
+// database) the batched estimator and workload cache target.
+func batchSetup(t testing.TB, count int) (*catalog.Catalog, []*plan.Plan) {
+	t.Helper()
+	cat, err := ott.Generate(ott.Config{Seed: 5, RowsPerValue: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ott.Queries(cat, ott.QueryConfig{NumTables: 5, SameConstant: 4, Count: count, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	plans := make([]*plan.Plan, len(qs))
+	for i, q := range qs {
+		p, err := opt.Optimize(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i] = p
+	}
+	return cat, plans
+}
+
+// TestEstimatePlansMatchesSequential: the batched estimator must return
+// estimates byte-identical — Delta for Delta, SampleRows for SampleRows
+// — to estimating each plan alone, at every worker count and against
+// every cache scope (none, per-run, workload-level, warm and cold).
+func TestEstimatePlansMatchesSequential(t *testing.T) {
+	cat, plans := batchSetup(t, 4)
+
+	want := make([]*Estimate, len(plans))
+	for i, p := range plans {
+		e, err := EstimatePlan(p, cat)
+		if err != nil {
+			t.Fatalf("plan %d sequential: %v", i, err)
+		}
+		want[i] = e
+	}
+
+	for _, w := range []int{1, 2, runtime.NumCPU()} {
+		caches := map[string]Cache{
+			"nil":      nil,
+			"perrun":   NewValidationCache(),
+			"workload": NewWorkloadCache(0),
+		}
+		for name, cache := range caches {
+			mode := fmt.Sprintf("workers=%d cache=%s", w, name)
+			got, err := EstimatePlans(plans, cat, cache, w)
+			if err != nil {
+				t.Fatalf("%s: %v", mode, err)
+			}
+			for i := range plans {
+				compareEstimates(t, "batch", i, mode, got[i], want[i])
+			}
+			if cache == nil {
+				continue
+			}
+			// A second, warm pass must replay from the cache and agree.
+			got, err = EstimatePlans(plans, cat, cache, w)
+			if err != nil {
+				t.Fatalf("%s warm: %v", mode, err)
+			}
+			for i := range plans {
+				compareEstimates(t, "batch", i, mode+" warm", got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEstimatePlansFallsBackPerPlan: a plan the count engine cannot run
+// must take the Volcano fallback without dragging the rest of the batch
+// with it.
+func TestEstimatePlansFallsBackPerPlan(t *testing.T) {
+	cat, plans := batchSetup(t, 2)
+	badQ := *plans[0].Query
+	badQ.Joins = nil
+	bad := &plan.Plan{Root: plans[0].Root, Query: &badQ}
+	got, err := EstimatePlans([]*plan.Plan{plans[0], bad, plans[1]}, cat, NewValidationCache(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []*plan.Plan{plans[0], bad, plans[1]} {
+		want, err := EstimatePlan(p, cat)
+		if err != nil {
+			t.Fatalf("plan %d sequential: %v", i, err)
+		}
+		compareEstimates(t, "fallback", i, "mixed batch", got[i], want)
+	}
+}
+
+// TestWorkloadCacheReusesAcrossQueries: validating a workload of similar
+// queries twice against one WorkloadCache must serve the second pass
+// from the cache (hits recorded, no growth) with identical estimates.
+func TestWorkloadCacheReusesAcrossQueries(t *testing.T) {
+	cat, plans := batchSetup(t, 4)
+	wc := NewWorkloadCache(0)
+
+	cold := make([]*Estimate, len(plans))
+	for i, p := range plans {
+		ests, err := EstimatePlans([]*plan.Plan{p}, cat, wc, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold[i] = ests[0]
+	}
+	size := wc.Len()
+	if size == 0 {
+		t.Fatal("workload cache recorded nothing")
+	}
+	hits0, _ := wc.Stats()
+
+	for i, p := range plans {
+		ests, err := EstimatePlans([]*plan.Plan{p}, cat, wc, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareEstimates(t, "workload", i, "second pass", ests[0], cold[i])
+	}
+	if wc.Len() != size {
+		t.Errorf("second pass grew the cache: %d -> %d", size, wc.Len())
+	}
+	if hits1, _ := wc.Stats(); hits1 <= hits0 {
+		t.Error("second pass recorded no cache hits")
+	}
+}
+
+// TestWorkloadCacheSampleEpochInvalidation: refreshing the catalog's
+// samples must never serve counts observed on the old sample set — the
+// epoch namespace makes stale entries unreachable, and post-refresh
+// estimates must equal a cold, uncached run over the new samples.
+func TestWorkloadCacheSampleEpochInvalidation(t *testing.T) {
+	cat, plans := batchSetup(t, 2)
+	wc := NewWorkloadCache(0)
+	if _, err := EstimatePlans(plans, cat, wc, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild with a different seed: the samples genuinely change, so
+	// serving stale counts would be observable as a Delta mismatch.
+	cat.BuildSamples(12345)
+	fresh := make([]*Estimate, len(plans))
+	for i, p := range plans {
+		e, err := EstimatePlan(p, cat) // uncached ground truth, new samples
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh[i] = e
+	}
+	got, err := EstimatePlans(plans, cat, wc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plans {
+		compareEstimates(t, "epoch", i, "post-refresh", got[i], fresh[i])
+	}
+
+	// Same-seed rebuilds are still new epochs: identical data, but the
+	// cache must recompute rather than trust the old namespace.
+	before := cat.SampleEpoch()
+	cat.BuildSamples(12345)
+	if cat.SampleEpoch() == before {
+		t.Fatal("BuildSamples did not advance the sample epoch")
+	}
+	got, err = EstimatePlans(plans, cat, wc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plans {
+		compareEstimates(t, "epoch", i, "same-seed refresh", got[i], fresh[i])
+	}
+}
+
+// TestWorkloadCacheEviction: a tight entry budget must bound the cache
+// while keeping estimates exact.
+func TestWorkloadCacheEviction(t *testing.T) {
+	cat, plans := batchSetup(t, 4)
+	wc := NewWorkloadCache(3)
+	for i, p := range plans {
+		ests, err := EstimatePlans([]*plan.Plan{p}, cat, wc, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EstimatePlan(p, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareEstimates(t, "eviction", i, "tight budget", ests[0], want)
+		if wc.Len() > 3 {
+			t.Fatalf("cache exceeded its budget: %d entries", wc.Len())
+		}
+	}
+}

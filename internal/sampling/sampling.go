@@ -33,11 +33,25 @@ type Estimate struct {
 	Duration time.Duration
 }
 
+// Cache is the contract shared by the two validation-cache scopes the
+// estimator accepts: the per-re-optimization ValidationCache and the
+// cross-query WorkloadCache. The interface is sealed (the skeleton
+// accessor is unexported) because cache keying is entangled with the
+// engine's signature scheme.
+type Cache interface {
+	// Len returns the number of cached subtree results (diagnostics).
+	Len() int
+	// skeleton returns the executor-level cache to run against,
+	// namespaced for the catalog's current sample set.
+	skeleton(cat *catalog.Catalog) *executor.SkeletonCache
+}
+
 // ValidationCache carries skeleton sub-results and build-side hash
 // tables across the validation rounds of one re-optimization, so a round
 // whose plan shares join subtrees with previously validated plans reuses
 // their sample counts instead of re-executing them. A cache must only be
-// shared between validations of the same query over the same samples.
+// shared between validations of the same query over the same samples;
+// for a cache that outlives one re-optimization, use WorkloadCache.
 type ValidationCache struct {
 	skel *executor.SkeletonCache
 }
@@ -53,6 +67,15 @@ func (c *ValidationCache) Len() int {
 		return 0
 	}
 	return c.skel.Len()
+}
+
+// skeleton implements Cache. The per-re-optimization scope never
+// outlives a sample set, so no epoch namespacing is needed.
+func (c *ValidationCache) skeleton(*catalog.Catalog) *executor.SkeletonCache {
+	if c == nil {
+		return nil
+	}
+	return c.skel
 }
 
 // EstimatePlan validates p's join skeleton over the catalog's samples.
@@ -82,11 +105,98 @@ func EstimatePlanWorkers(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCa
 	start := time.Now()
 	skeleton := rewrite(p.Root)
 	sp := &plan.Plan{Root: skeleton, Query: p.Query}
-	nodeRows, err := skeletonCounts(sp, cat, cache, workers)
+	nodeRows, err := skeletonCounts(sp, cat, cache.skeleton(cat), workers)
 	if err != nil {
 		return nil, fmt.Errorf("sampling: skeleton run: %w", err)
 	}
+	est, err := estimateFromCounts(p, skeleton, cat, nodeRows)
+	if err != nil {
+		return nil, err
+	}
+	est.Duration = time.Since(start)
+	return est, nil
+}
 
+// EstimatePlans validates several plans' join skeletons over the
+// catalog's samples as one batch: subtrees shared between the plans are
+// executed once, each table's scan filters are compiled once, and the
+// combined work of every plan partitions across workers even when the
+// individual samples are too small to fan out alone (see
+// executor.CountSkeletonBatch). The returned estimates are positional
+// and byte-identical — Delta for Delta, SampleRows for SampleRows — to
+// calling EstimatePlanWorkers on each plan in order against the same
+// cache; only the wall-clock Duration differs (the batch's total time,
+// amortized equally across the plans). cache may be a ValidationCache,
+// a WorkloadCache, or nil. Plans the count-only engine cannot run fall
+// back to the general executor individually — and that fallback is
+// uncached, so callers batching extra plans purely to widen the
+// engine's fan-out (as core does with the previous round's plan)
+// should only do so with engine-supported shapes; optimizer-produced
+// plans always are.
+func EstimatePlans(plans []*plan.Plan, cat *catalog.Catalog, cache Cache, workers int) ([]*Estimate, error) {
+	if len(plans) == 0 {
+		return nil, nil
+	}
+	if !cat.HasSamples() {
+		return nil, fmt.Errorf("sampling: catalog has no samples (call BuildSamples)")
+	}
+	start := time.Now()
+	var skel *executor.SkeletonCache
+	if cache != nil {
+		skel = cache.skeleton(cat)
+	}
+	skels := make([]*plan.Plan, len(plans))
+	for i, p := range plans {
+		skels[i] = &plan.Plan{Root: rewrite(p.Root), Query: p.Query}
+	}
+	counts := make([]map[plan.Node]int64, len(plans))
+	perPlan := make([]error, len(plans))
+	if useFastPath {
+		var err error
+		counts, perPlan, err = executor.CountSkeletonBatch(skels, cat.Sample, skel, workers)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: batch skeleton run: %w", err)
+		}
+	} else {
+		// Fast path disabled (equivalence tests): every plan takes the
+		// general-executor fallback below.
+		for i := range perPlan {
+			perPlan[i] = executor.ErrSkeletonUnsupported
+		}
+	}
+	ests := make([]*Estimate, len(plans))
+	for i, p := range plans {
+		nodeRows := counts[i]
+		if perPlan[i] != nil {
+			if !errors.Is(perPlan[i], executor.ErrSkeletonUnsupported) {
+				return nil, fmt.Errorf("sampling: batch skeleton run: %w", perPlan[i])
+			}
+			var err error
+			nodeRows, err = volcanoCounts(skels[i], cat)
+			if err != nil {
+				return nil, fmt.Errorf("sampling: skeleton run: %w", err)
+			}
+		}
+		est, err := estimateFromCounts(p, skels[i].Root, cat, nodeRows)
+		if err != nil {
+			return nil, err
+		}
+		ests[i] = est
+	}
+	// One skeleton batch produced every estimate; report its cost
+	// amortized equally so summing the estimates' Durations still
+	// reflects the total sampling overhead.
+	dur := time.Since(start) / time.Duration(len(plans))
+	for _, e := range ests {
+		e.Duration = dur
+	}
+	return ests, nil
+}
+
+// estimateFromCounts scales a skeleton run's raw sample counts into the
+// Δ of Algorithm 1 — shared by the single-plan and batched paths, which
+// is what keeps their estimates byte-identical.
+func estimateFromCounts(p *plan.Plan, skeleton plan.Node, cat *catalog.Catalog, nodeRows map[plan.Node]int64) (*Estimate, error) {
 	est := &Estimate{
 		Delta:      make(map[string]float64),
 		SampleRows: make(map[string]int64),
@@ -136,7 +246,6 @@ func EstimatePlanWorkers(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCa
 		est.Delta[key] = f
 		est.SampleRows[key] = count
 	})
-	est.Duration = time.Since(start)
 	return est, nil
 }
 
@@ -151,12 +260,8 @@ var useFastPath = true
 // the explicit unsupported-shape error triggers the fallback — any other
 // engine failure propagates rather than silently degrading every
 // validation to the slow path.
-func skeletonCounts(sp *plan.Plan, cat *catalog.Catalog, cache *ValidationCache, workers int) (map[plan.Node]int64, error) {
+func skeletonCounts(sp *plan.Plan, cat *catalog.Catalog, skel *executor.SkeletonCache, workers int) (map[plan.Node]int64, error) {
 	if useFastPath {
-		var skel *executor.SkeletonCache
-		if cache != nil {
-			skel = cache.skel
-		}
 		counts, err := executor.CountSkeletonWorkers(sp, cat.Sample, skel, workers)
 		if err == nil {
 			return counts, nil
@@ -165,6 +270,11 @@ func skeletonCounts(sp *plan.Plan, cat *catalog.Catalog, cache *ValidationCache,
 			return nil, err
 		}
 	}
+	return volcanoCounts(sp, cat)
+}
+
+// volcanoCounts is the general-executor fallback for per-node counts.
+func volcanoCounts(sp *plan.Plan, cat *catalog.Catalog) (map[plan.Node]int64, error) {
 	res, rerr := executor.Run(sp, cat, executor.Options{
 		CountOnly: true,
 		Binder:    cat.Sample,

@@ -1,0 +1,83 @@
+package sampling
+
+// WorkloadCache: the workload-level promotion of the per-re-optimization
+// ValidationCache. A workload of similar queries — the shape of the
+// paper's §6 experiments, where each template is instantiated many
+// times — re-validates near-identical subtrees over the same samples
+// again and again. Subtree signatures already encode the relation set
+// and every predicate, so counts are reusable across *queries*, not
+// just across one re-optimization's rounds; what was missing was a
+// cache that (a) survives the re-optimization, (b) bounds its memory
+// with an eviction policy, and (c) can never serve counts observed on a
+// previous sample set.
+//
+// (a) and (b) come from the executor's LRU-bounded SkeletonCache; (c)
+// comes from the catalog's sample epoch: every BuildSamples call takes
+// a process-unique epoch, the cache namespaces all keys by the epoch of
+// the catalog it is serving, and entries from earlier sample sets (or
+// other catalogs) become unreachable and age out of the LRU. Reuse
+// never changes estimates — cached counts are the counts the skeleton
+// run would recompute, byte for byte — it only changes when they are
+// computed.
+
+import (
+	"fmt"
+
+	"reopt/internal/catalog"
+	"reopt/internal/executor"
+)
+
+// DefaultWorkloadCacheEntries is the default sub-result budget for a
+// workload cache: enough for a few hundred distinct subtrees — dozens
+// of multi-join queries' worth — while bounding retained sample
+// materializations.
+const DefaultWorkloadCacheEntries = 4096
+
+// WorkloadCache reuses validation counts across the queries of one
+// workload. It is safe for sequential reuse across any number of
+// re-optimizations against any catalogs (entries are namespaced by
+// sample epoch, which is process-unique), and for concurrent
+// validations against ONE catalog at a time: the epoch namespace is
+// set on the shared store when a validation starts, so concurrent
+// validations against *different* catalogs (or across a BuildSamples
+// call) would race on the namespace and must serialize externally —
+// use one cache per catalog for concurrent multi-catalog work.
+type WorkloadCache struct {
+	skel *executor.SkeletonCache
+}
+
+// NewWorkloadCache returns a cache holding at most maxEntries subtree
+// sub-results (least-recently-used eviction; <= 0 selects
+// DefaultWorkloadCacheEntries).
+func NewWorkloadCache(maxEntries int) *WorkloadCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultWorkloadCacheEntries
+	}
+	return &WorkloadCache{skel: executor.NewSkeletonCacheLRU(maxEntries)}
+}
+
+// Len returns the number of cached subtree results (diagnostics).
+func (c *WorkloadCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.skel.Len()
+}
+
+// Stats reports subtree lookup hits and misses (diagnostics).
+func (c *WorkloadCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.skel.Stats()
+}
+
+// skeleton implements Cache: it namespaces the cache for the catalog's
+// current sample set before handing it to the engine.
+func (c *WorkloadCache) skeleton(cat *catalog.Catalog) *executor.SkeletonCache {
+	if c == nil {
+		return nil
+	}
+	c.skel.SetPrefix(fmt.Sprintf("s%d|", cat.SampleEpoch()))
+	return c.skel
+}

@@ -92,6 +92,9 @@ type (
 	ReoptRound = core.Round
 	// SamplingEstimate is the Δ produced by validating one plan.
 	SamplingEstimate = sampling.Estimate
+	// WorkloadCache reuses validation counts across the queries of a
+	// workload (see ReoptOptions.Cache).
+	WorkloadCache = sampling.WorkloadCache
 	// MidQueryExecutor is the runtime (mid-query) re-optimization
 	// baseline (Kabra-DeWitt / POP style) the paper compares against.
 	MidQueryExecutor = midquery.Executor
@@ -182,6 +185,24 @@ func EstimateBySampling(p *Plan, cat *Catalog) (*SamplingEstimate, error) {
 // setting.
 func EstimateBySamplingWorkers(p *Plan, cat *Catalog, workers int) (*SamplingEstimate, error) {
 	return sampling.EstimatePlanWorkers(p, cat, nil, workers)
+}
+
+// EstimateBySamplingBatch validates several plans in one batched
+// skeleton pass: subtrees shared between the plans execute once and the
+// combined work partitions across workers. Estimates are positional and
+// identical to estimating each plan alone.
+func EstimateBySamplingBatch(ps []*Plan, cat *Catalog, workers int) ([]*SamplingEstimate, error) {
+	return sampling.EstimatePlans(ps, cat, nil, workers)
+}
+
+// NewWorkloadCache returns a workload-level validation cache for
+// ReoptOptions.Cache: re-optimizations sharing it reuse validation
+// counts across queries (LRU-bounded to maxEntries subtree entries,
+// <= 0 selects the default budget; entries are invalidated when a
+// catalog rebuilds its samples). Reuse never changes estimates, only
+// when they are computed.
+func NewWorkloadCache(maxEntries int) *WorkloadCache {
+	return sampling.NewWorkloadCache(maxEntries)
 }
 
 // Calibrate runs the offline cost-unit calibration micro-benchmarks.
