@@ -9,7 +9,7 @@ SHELL := /bin/bash
 GO ?= go
 BENCH_SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all vet build test race check bench bench-smoke bench-hotpath bench-json
+.PHONY: all vet build test race check examples bench bench-smoke bench-hotpath bench-json
 
 all: check
 
@@ -28,6 +28,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# examples builds the example programs and the cmds as an explicit,
+# separately reported CI step: `go build ./...` in `check` covers them
+# too, but a dedicated step makes example drift against the public API
+# fail visibly under its own name instead of inside the module build.
+examples:
+	$(GO) build ./examples/... ./cmd/...
+
 # check is the tier-1 gate: vet, build, full test suite.
 check: vet build test
 
@@ -39,7 +46,7 @@ bench-smoke:
 # bench-hotpath measures the re-optimization hot path with allocation
 # counts (the series tracked across PRs).
 bench-hotpath:
-	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache' -benchtime 2s .
+	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel' -benchtime 2s .
 
 # bench runs everything and archives the numbers as machine-readable
 # JSON (ns/op, B/op, allocs/op per benchmark) named after the commit,
@@ -52,5 +59,5 @@ bench:
 # for every push), archived as BENCH_<sha>.json and uploaded as a
 # workflow artifact.
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkExecutorJoinRows' -benchtime 1s -benchmem . ./internal/executor | tee bench.out
+	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel|BenchmarkExecutorJoinRows' -benchtime 1s -benchmem . ./internal/executor | tee bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -sha $(BENCH_SHA) -out BENCH_$(BENCH_SHA).json

@@ -11,6 +11,7 @@ package reopt_test
 // binary (cmd/experiments) runs the same code at full scale.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -339,6 +340,42 @@ func BenchmarkReoptimizeMultiSeed(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := r.ReoptimizeMultiSeed(qs[0], 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSessionWorkloadParallel tracks concurrent-session
+// throughput: one Session with a shared validation cache re-optimizes a
+// 6-query OTT workload through ReoptimizeWorkload at increasing
+// parallelism. At parallelism=1 it measures the Session layer's
+// overhead against the sequential loop; higher settings expose the
+// shared cache and batch engine under real concurrent traffic (a
+// 1-core host shows parity).
+func BenchmarkSessionWorkloadParallel(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 6, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, par := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			s, err := reopt.Open(cat, reopt.WithSharedCache(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ReoptimizeWorkload(ctx, qs, par); err != nil {
 					b.Fatal(err)
 				}
 			}

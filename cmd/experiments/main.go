@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,7 @@ func main() {
 		instances  = flag.Int("instances", 0, "instances per query template (default 5)")
 		workers    = flag.Int("workers", 0, "validation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		cacheSize  = flag.Int("cache", 0, "workload validation-cache budget in subtree entries (0 = off)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); cancels in-flight work on expiry")
 		seed       = flag.Int64("seed", 42, "random seed")
 	)
 	flag.Parse()
@@ -60,7 +62,13 @@ func main() {
 		WorkloadCacheEntries: *cacheSize,
 		Seed:                 *seed,
 	}
-	runner := experiments.NewRunner(cfg)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	runner := experiments.NewRunnerCtx(ctx, cfg)
 
 	var selected []experiments.Experiment
 	if *id == "all" {

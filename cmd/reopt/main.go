@@ -1,28 +1,24 @@
 // Command reopt demonstrates sampling-based query re-optimization on a
 // generated database: it plans a query, shows the original EXPLAIN,
-// re-optimizes it round by round, and compares execution times.
+// re-optimizes it round by round, and compares execution times. It is
+// written entirely against the public reopt.Session API.
 //
 // Usage:
 //
 //	reopt -db ott -sql "SELECT COUNT(*) FROM r1, r2 WHERE r1.a = 0 AND r2.a = 1 AND r1.b = r2.b"
-//	reopt -db tpch -z 1 -query 9      # TPC-H template Q9 on the skewed DB
-//	reopt -db ott                      # a generated 5-table OTT query
+//	reopt -db tpch -z 1 -query 9       # TPC-H template Q9 on the skewed DB
+//	reopt -db ott                       # a generated 5-table OTT query
+//	reopt -db ott -timeout 20ms         # budget the whole re-optimization
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"reopt/internal/catalog"
-	"reopt/internal/core"
-	"reopt/internal/executor"
-	"reopt/internal/optimizer"
-	"reopt/internal/sampling"
-	"reopt/internal/sql"
-	"reopt/internal/workload/ott"
-	"reopt/internal/workload/tpcds"
-	"reopt/internal/workload/tpch"
+	"reopt"
 )
 
 func main() {
@@ -35,100 +31,102 @@ func main() {
 		analyze = flag.Bool("analyze", false, "print EXPLAIN ANALYZE (estimated vs actual rows)")
 		workers = flag.Int("workers", 0, "validation parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		cache   = flag.Int("cache", 0, "workload validation-cache budget in subtree entries (0 = off)")
+		timeout = flag.Duration("timeout", 0, "re-optimization time budget (0 = none); returns best-so-far on expiry")
 	)
 	flag.Parse()
-	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *cache); err != nil {
+	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *cache, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "reopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, cacheEntries int) error {
-	var cat *catalog.Catalog
+func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, cacheEntries int, timeout time.Duration) error {
+	ctx := context.Background()
+	var cat *reopt.Catalog
 	var err error
-	var q *sql.Query
+	var q *reopt.Query
 
 	fmt.Printf("building %s database...\n", db)
 	switch db {
 	case "ott":
-		cat, err = ott.Generate(ott.Config{Seed: seed})
-		if err != nil {
-			return err
-		}
-		if sqlText == "" {
-			qs, qerr := ott.Queries(cat, ott.QueryConfig{
-				NumTables: 5, SameConstant: 4, Count: 1, Seed: seed,
-			})
-			if qerr != nil {
-				return qerr
-			}
-			q = qs[0]
-		}
+		cat, err = reopt.GenerateOTT(reopt.OTTConfig{Seed: seed})
 	case "tpch":
-		cat, err = tpch.Generate(tpch.Config{Z: z, Seed: seed})
-		if err != nil {
-			return err
-		}
-		if sqlText == "" {
-			id := queryID
-			if id == 0 {
-				id = 9
-			}
-			qs, qerr := tpch.Instances(cat, id, 1, seed)
-			if qerr != nil {
-				return qerr
-			}
-			q = qs[0]
-		}
+		cat, err = reopt.GenerateTPCH(reopt.TPCHConfig{Z: z, Seed: seed})
 	case "tpcds":
-		cat, err = tpcds.Generate(tpcds.Config{Seed: seed})
-		if err != nil {
-			return err
-		}
-		if sqlText == "" {
-			qs, qerr := tpcds.Instances(cat, "50'", 1, seed)
-			if qerr != nil {
-				return qerr
-			}
-			q = qs[0]
-		}
+		cat, err = reopt.GenerateTPCDS(reopt.TPCDSConfig{Seed: seed})
 	default:
 		return fmt.Errorf("unknown database %q", db)
 	}
-	if sqlText != "" {
-		q, err = sql.Parse(sqlText, cat)
-		if err != nil {
-			return err
+	if err != nil {
+		return err
+	}
+
+	// One Session owns the optimizer, the validation worker budget, and
+	// (when -cache is set) the cross-query validation cache. A longer
+	// session — e.g. a script driving many queries — would reuse counts
+	// between re-optimizations through that cache.
+	opts := []reopt.SessionOption{reopt.WithWorkers(workers)}
+	if cacheEntries > 0 {
+		opts = append(opts, reopt.WithSharedCache(cacheEntries))
+	}
+	s, err := reopt.Open(cat, opts...)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case sqlText != "":
+		q, err = s.Parse(sqlText)
+	case db == "ott":
+		var qs []*reopt.Query
+		qs, err = reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+			NumTables: 5, SameConstant: 4, Count: 1, Seed: seed,
+		})
+		if err == nil {
+			q = qs[0]
 		}
+	case db == "tpch":
+		id := queryID
+		if id == 0 {
+			id = 9
+		}
+		var qs []*reopt.Query
+		qs, err = reopt.TPCHQueries(cat, id, 1, seed)
+		if err == nil {
+			q = qs[0]
+		}
+	case db == "tpcds":
+		var qs []*reopt.Query
+		qs, err = reopt.TPCDSQueries(cat, "50'", 1, seed)
+		if err == nil {
+			q = qs[0]
+		}
+	}
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("\nquery:\n  %s\n", q)
-	opt := optimizer.New(cat, optimizer.DefaultConfig())
-
-	orig, err := opt.Optimize(q, nil)
+	orig, err := s.Optimize(q)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\noriginal plan (cost=%.1f):\n%s", orig.Cost(), orig.Explain())
-	origRun, err := executor.Run(orig, cat, executor.Options{CountOnly: true})
+	origRun, err := s.Execute(ctx, orig, reopt.ExecOptions{CountOnly: true})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("original execution: %d rows in %v (%d tuples processed)\n",
 		origRun.Count, origRun.Duration, origRun.Counters.Tuples)
 	if analyze {
-		fmt.Printf("\nEXPLAIN ANALYZE (original):\n%s", executor.ExplainAnalyze(orig, origRun))
+		fmt.Printf("\nEXPLAIN ANALYZE (original):\n%s", reopt.ExplainAnalyze(orig, origRun))
 	}
 
-	r := core.New(opt, cat)
-	r.Opts.Workers = workers
-	if cacheEntries > 0 {
-		// One query still profits across its own rounds, and a longer
-		// session (e.g. driving reopt from a script over many queries)
-		// would reuse counts between invocations of this Reoptimizer.
-		r.Opts.Cache = sampling.NewWorkloadCache(cacheEntries)
+	var ropts []reopt.ReoptOption
+	if timeout > 0 {
+		ropts = append(ropts, reopt.WithTimeout(timeout))
 	}
-	res, err := r.Reoptimize(q)
+	res, err := s.Reoptimize(ctx, q, ropts...)
 	if err != nil {
 		return err
 	}
@@ -139,14 +137,18 @@ func run(db string, z float64, seed int64, sqlText string, queryID int, analyze 
 			i+1, rd.Transform, rd.CoveredByPrevious, rd.GammaAdded, rd.SampledCost)
 	}
 	fmt.Printf("\nfinal plan:\n%s", res.Final.Explain())
-	finalRun, err := executor.Run(res.Final, cat, executor.Options{CountOnly: true})
+	finalRun, err := s.Execute(ctx, res.Final, reopt.ExecOptions{CountOnly: true})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("re-optimized execution: %d rows in %v (%d tuples processed)\n",
 		finalRun.Count, finalRun.Duration, finalRun.Counters.Tuples)
 	if analyze {
-		fmt.Printf("\nEXPLAIN ANALYZE (re-optimized):\n%s", executor.ExplainAnalyze(res.Final, finalRun))
+		fmt.Printf("\nEXPLAIN ANALYZE (re-optimized):\n%s", reopt.ExplainAnalyze(res.Final, finalRun))
+	}
+	if cacheEntries > 0 {
+		hits, misses := s.CacheStats()
+		fmt.Printf("\nvalidation cache: %d hits, %d misses\n", hits, misses)
 	}
 	if origRun.Duration > 0 {
 		fmt.Printf("\nspeedup: %.2fx\n",

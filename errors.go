@@ -1,0 +1,33 @@
+package reopt
+
+import (
+	"reopt/internal/core"
+	"reopt/internal/executor"
+	"reopt/internal/sampling"
+)
+
+// Error taxonomy. Callers branch with errors.Is against these sentinels
+// instead of string-matching; every layer underneath wraps them with
+// situational detail.
+var (
+	// ErrNoSamples: a validation or re-optimization was attempted
+	// against a catalog whose samples have not been built. The fix is
+	// always Catalog.BuildSamples.
+	ErrNoSamples = sampling.ErrNoSamples
+
+	// ErrUnsupportedPlan: the plan's shape is outside the executing
+	// engine's contract — a hand-built node kind the Volcano executor
+	// does not know, or (for the internal count-only skeleton engine,
+	// whose ErrSkeletonUnsupported wraps this sentinel) a non-equi-join
+	// shape. Session.Validate falls back to the general executor for
+	// such plans automatically; the sentinel surfaces only where no
+	// fallback exists.
+	ErrUnsupportedPlan = executor.ErrUnsupportedPlan
+
+	// ErrBudgetExceeded: a re-optimization budget (WithTimeout or a ctx
+	// deadline) expired before any plan could be produced — e.g. a
+	// workload query whose budget was spent while it sat queued. Once a
+	// plan exists, budget exhaustion is not an error: the best plan so
+	// far is returned. Wraps context.DeadlineExceeded.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+)

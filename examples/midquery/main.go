@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,30 +26,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
-	compile := reopt.NewReoptimizer(opt, cat)
-	runtime := reopt.NewMidQueryExecutor(opt, cat)
+	// One Session serves both strategies: it owns the optimizer and a
+	// cross-query validation cache, so successive compile-time
+	// re-optimizations reuse each other's sample counts.
+	ctx := context.Background()
+	s, err := reopt.Open(cat, reopt.WithSharedCache(0))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%-5s  %-12s %-24s %-30s\n", "query", "original", "compile-time re-opt", "runtime re-opt")
 	fmt.Printf("%-5s  %-12s %-24s %-30s\n", "", "exec", "exec + sampling overhead", "total (materialized rows)")
 	for i, q := range qs {
-		orig, err := opt.Optimize(q, nil)
+		orig, err := s.Optimize(q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		origRun, err := reopt.Execute(orig, cat, reopt.ExecOptions{CountOnly: true})
+		origRun, err := s.Execute(ctx, orig, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		cres, err := compile.Reoptimize(q)
+		cres, err := s.Reoptimize(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		crun, err := reopt.Execute(cres.Final, cat, reopt.ExecOptions{CountOnly: true})
+		crun, err := s.Execute(ctx, cres.Final, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		rres, err := runtime.Run(q)
+		rres, err := s.MidQuery(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}

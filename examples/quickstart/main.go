@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -65,25 +66,31 @@ func main() {
 	}
 	cat.BuildSamples(7)
 
-	q, err := reopt.Parse(`SELECT COUNT(*)
+	// The Session is the front door: it owns the optimizer and exposes
+	// the whole pipeline (parse, optimize, re-optimize, execute) as
+	// context-aware methods.
+	ctx := context.Background()
+	s, err := reopt.Open(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := s.Parse(`SELECT COUNT(*)
 		FROM orders, shipments, carriers
 		WHERE orders.region = shipments.region
 		AND shipments.carrier = carriers.carrier
-		AND orders.region = 3 AND orders.status = 3`, cat)
+		AND orders.region = 3 AND orders.status = 3`)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
-	orig, err := opt.Optimize(q, nil)
+	orig, err := s.Optimize(q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("original plan (note the underestimated row counts):")
 	fmt.Print(orig.Explain())
 
-	r := reopt.NewReoptimizer(opt, cat)
-	res, err := r.Reoptimize(q)
+	res, err := s.Reoptimize(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,11 +104,11 @@ func main() {
 	fmt.Println("\nfinal plan (corrected row counts):")
 	fmt.Print(res.Final.Explain())
 
-	origRun, err := reopt.Execute(orig, cat, reopt.ExecOptions{CountOnly: true})
+	origRun, err := s.Execute(ctx, orig, reopt.ExecOptions{CountOnly: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	finalRun, err := reopt.Execute(res.Final, cat, reopt.ExecOptions{CountOnly: true})
+	finalRun, err := s.Execute(ctx, res.Final, reopt.ExecOptions{CountOnly: true})
 	if err != nil {
 		log.Fatal(err)
 	}

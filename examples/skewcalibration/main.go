@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,14 +27,22 @@ func main() {
 	fmt.Printf("  defaults:   %s\n", reopt.DefaultUnits)
 	fmt.Printf("  calibrated: %s\n", calibrated)
 
-	// Q9's join structure (6 tables) is where the paper sees big
-	// re-optimization wins on TPC-H.
-	q, err := reopt.Parse(`SELECT COUNT(*)
+	ctx := context.Background()
+
+	// Parsing resolves names against the catalog only — it does not
+	// depend on any session's cost units — so Q9 (the 6-table join where
+	// the paper sees big re-optimization wins) is parsed once and reused
+	// across both settings.
+	base, err := reopt.Open(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := base.Parse(`SELECT COUNT(*)
 		FROM part, supplier, lineitem, partsupp, orders, nation
 		WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
 		AND ps_partkey = l_partkey AND p_partkey = l_partkey
 		AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
-		AND p_brand = 'Brand#23'`, cat)
+		AND p_brand = 'Brand#23'`)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,22 +54,27 @@ func main() {
 		{"default units", reopt.DefaultUnits},
 		{"calibrated units", calibrated},
 	} {
+		// One Session per cost-unit setting: each owns its own optimizer
+		// configuration over the shared catalog.
 		cfg := reopt.DefaultOptimizerConfig()
 		cfg.Units = setting.units
-		opt := reopt.NewOptimizer(cat, cfg)
-		orig, err := opt.Optimize(q, nil)
+		s, err := reopt.Open(cat, reopt.WithOptimizerConfig(cfg))
 		if err != nil {
 			log.Fatal(err)
 		}
-		origRun, err := reopt.Execute(orig, cat, reopt.ExecOptions{CountOnly: true})
+		orig, err := s.Optimize(q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := reopt.NewReoptimizer(opt, cat).Reoptimize(q)
+		origRun, err := s.Execute(ctx, orig, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		finalRun, err := reopt.Execute(res.Final, cat, reopt.ExecOptions{CountOnly: true})
+		res, err := s.Reoptimize(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		finalRun, err := s.Execute(ctx, res.Final, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,25 +36,30 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
-	r := reopt.NewReoptimizer(opt, cat)
+	// One Session for the whole torture run; a shared validation cache
+	// lets the similar OTT instances reuse each other's sample counts.
+	ctx := context.Background()
+	s, err := reopt.Open(cat, reopt.WithSharedCache(0))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("\n%-5s  %-14s %-14s %-9s %-7s\n",
 		"query", "original", "re-optimized", "speedup", "plans")
 	for i, q := range qs {
-		orig, err := opt.Optimize(q, nil)
+		orig, err := s.Optimize(q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		origRun, err := reopt.Execute(orig, cat, reopt.ExecOptions{CountOnly: true})
+		origRun, err := s.Execute(ctx, orig, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := r.Reoptimize(q)
+		res, err := s.Reoptimize(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		finalRun, err := reopt.Execute(res.Final, cat, reopt.ExecOptions{CountOnly: true})
+		finalRun, err := s.Execute(ctx, res.Final, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +74,7 @@ func main() {
 	fmt.Println("\none query in detail:")
 	q := qs[0]
 	fmt.Printf("  %s\n\n", q)
-	res, err := r.Reoptimize(q)
+	res, err := s.Reoptimize(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}

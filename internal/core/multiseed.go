@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -19,14 +21,28 @@ import (
 // seeds — runs Algorithm 1 from each, and returns the run whose final
 // plan has the lowest sampled cost under its own validated statistics.
 func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, error) {
+	return r.ReoptimizeMultiSeedCtx(context.Background(), q, seeds)
+}
+
+// ReoptimizeMultiSeedCtx is ReoptimizeMultiSeed with cancellation and
+// the unified time budget of ReoptimizeCtx: one budget (Options.Timeout
+// or the caller's deadline, whichever is earlier) covers the whole
+// multi-seed procedure. Cancellation aborts with ctx.Err(); a deadline
+// stops starting new seeded runs and returns the best result so far.
+// Each started run's round-1 validation is shielded from the internal
+// budget deadline, so every started run yields a result.
+func (r *Reoptimizer) ReoptimizeMultiSeedCtx(ctx context.Context, q *sql.Query, seeds int) (*Result, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	// Options.Timeout is one budget for the whole multi-seed procedure:
-	// the clock starts before plan generation, every seeded run's rounds
-	// loop checks it, and the seeds loop stops starting new runs once it
-	// is spent (the first run always completes, so a result exists).
-	start := time.Now()
+	run, cancel := r.budgetCtx(ctx)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("core: %w", ErrBudgetExceeded)
+		}
+		return nil, err
+	}
 	initials, err := r.initialPlans(q, seeds)
 	if err != nil {
 		return nil, err
@@ -45,23 +61,30 @@ func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, err
 	// run them one at a time on samples too small to fan out. Each
 	// run's round-1 validation then replays from the cache,
 	// byte-identical to having computed it itself; the batch's cost is
-	// charged back to the runs in equal shares below. Under a Timeout
-	// the batch is skipped: it would validate *all* candidates before
-	// the budget is ever checked, while the lazy per-seed path stops
-	// starting runs the moment the budget is spent.
+	// charged back to the runs in equal shares below. Under an explicit
+	// Options.Timeout the batch is skipped — a tight budget should stop
+	// after the first seed, not validate *all* candidates up front. A
+	// deadline on the caller's own context does NOT skip it (a routine
+	// server deadline must not silently disable the shared-scan
+	// optimization): the batch runs under `run`, so the deadline aborts
+	// it in flight, and the procedure falls back to the lazy per-seed
+	// path, which still yields a best-so-far result.
 	var warmShare time.Duration
 	if len(initials) > 1 && r.Opts.Timeout == 0 {
 		t0 := time.Now()
-		if _, err := estimatePlansFn(initials, r.Cat, cache, r.Opts.Workers); err != nil {
-			return nil, err
+		if _, err := estimatePlansFn(run, initials, r.Cat, cache, r.Opts.Workers); err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+		} else {
+			warmShare = time.Since(t0) / time.Duration(len(initials))
 		}
-		warmShare = time.Since(t0) / time.Duration(len(initials))
 	}
 
 	var best *Result
 	var bestCost float64
 	for _, p := range initials {
-		res, err := r.reoptimizeFrom(q, p, cache, start)
+		res, err := r.reoptimizeSeeded(ctx, run, q, p, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -73,11 +96,14 @@ func (r *Reoptimizer) ReoptimizeMultiSeed(q *sql.Query, seeds int) (*Result, err
 		case rerr != nil && best == nil:
 			// Recost failed but the run itself completed: keep it at the
 			// worst possible cost (any re-costable later seed replaces
-			// it) so a result always exists and the timeout below can
-			// stop the seeds loop even when every Recost fails.
+			// it) so a result always exists and the budget check below
+			// can stop the seeds loop even when every Recost fails.
 			best, bestCost = res, math.Inf(1)
 		}
-		if r.Opts.Timeout > 0 && time.Since(start) > r.Opts.Timeout {
+		if err := run.Err(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
 			break
 		}
 	}
@@ -118,27 +144,14 @@ func (r *Reoptimizer) initialPlans(q *sql.Query, n int) ([]*plan.Plan, error) {
 	return out, nil
 }
 
-// reoptimizeFrom runs Algorithm 1 but uses the supplied plan as P_1
-// instead of the optimizer's first choice: P_1 is validated, its Δ is
-// merged into Γ, and the loop proceeds normally from round 2.
-func (r *Reoptimizer) reoptimizeFrom(q *sql.Query, initial *plan.Plan, cache sampling.Cache, start time.Time) (*Result, error) {
-	// Temporarily narrow the optimizer call for round 1 by validating
-	// the provided plan first; Reoptimize then starts from a Γ that
-	// encodes it. If the optimizer's round-1 plan under that Γ equals
-	// the initial plan, the behaviour matches plain Algorithm 1.
-	sub := &Reoptimizer{Opt: r.Opt, Cat: r.Cat, Opts: r.Opts}
-	res, err := sub.reoptimizeSeeded(q, initial, cache, start)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// reoptimizeSeeded is Reoptimize with an externally supplied P_1. start
-// anchors the Options.Timeout budget (shared across seeded runs).
-func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache sampling.Cache, start time.Time) (*Result, error) {
+// reoptimizeSeeded is Reoptimize with an externally supplied P_1: P_1
+// is validated, its Δ is merged into Γ, and the loop proceeds normally
+// from round 2. outer is the caller's context (P_1's validation runs
+// under it, shielded from the internal budget); run carries the shared
+// multi-seed budget deadline for everything else.
+func (r *Reoptimizer) reoptimizeSeeded(outer, run context.Context, q *sql.Query, p1 *plan.Plan, cache sampling.Cache) (*Result, error) {
 	if !r.Cat.HasSamples() {
-		return nil, fmt.Errorf("core: catalog has no samples; call BuildSamples before re-optimizing")
+		return nil, fmt.Errorf("core: %w; call BuildSamples before re-optimizing", sampling.ErrNoSamples)
 	}
 	if cache == nil {
 		cache = sampling.NewValidationCache()
@@ -148,8 +161,17 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache sampli
 
 	// Round 1: validate the seed plan. There is no optimizer call to
 	// charge — P_1 was handed in — matching Reoptimize, which never
-	// counts round 1's optimization as overhead.
-	if err := r.validateInto(q, p1, gamma, res, nil, nil, cache, 0); err != nil {
+	// counts round 1's optimization as overhead. The validation is
+	// shielded from the budget deadline so every started run produces a
+	// result; only the caller's own termination aborts it.
+	if err := r.validateInto(outer, q, p1, gamma, res, nil, nil, cache, 0); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The caller's own deadline fired mid-validation: the
+			// un-validated seed is still the best answer this run has.
+			res.Final = p1
+			res.NumPlans = 1
+			return res, nil
+		}
 		return nil, err
 	}
 	prev := p1
@@ -172,7 +194,13 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache sampli
 			res.Converged = true
 			break
 		}
-		if err := r.validateInto(q, p, gamma, res, prev, trees, cache, optTime); err != nil {
+		if err := r.validateInto(run, q, p, gamma, res, prev, trees, cache, optTime); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				break
+			}
 			return nil, err
 		}
 		if !seen[p.Fingerprint()] {
@@ -184,7 +212,10 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache sampli
 		if r.Opts.MaxRounds > 0 && i >= r.Opts.MaxRounds {
 			break
 		}
-		if r.Opts.Timeout > 0 && time.Since(start) > r.Opts.Timeout {
+		if err := run.Err(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
 			break
 		}
 	}
@@ -197,7 +228,7 @@ func (r *Reoptimizer) reoptimizeSeeded(q *sql.Query, p1 *plan.Plan, cache sampli
 // producing p this round (zero for a handed-in seed plan); sampling
 // time is measured as wall time around the estimator call, like
 // Reoptimize, so multi-seed ReoptTime is comparable to single-seed.
-func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree, cache sampling.Cache, optTime time.Duration) error {
+func (r *Reoptimizer) validateInto(ctx context.Context, q *sql.Query, p *plan.Plan, gamma *optimizer.Gamma, res *Result, prev *plan.Plan, trees []plan.JoinTree, cache sampling.Cache, optTime time.Duration) error {
 	round := Round{
 		Plan:              p,
 		Transform:         plan.Classify(prev, p),
@@ -205,7 +236,7 @@ func (r *Reoptimizer) validateInto(q *sql.Query, p *plan.Plan, gamma *optimizer.
 		OptimizeTime:      optTime,
 	}
 	t1 := time.Now()
-	est, err := r.estimateBatched(prev, p, cache)
+	est, err := r.estimateBatched(ctx, prev, p, cache)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -21,10 +22,10 @@ func TestMultiSeedHonorsTimeout(t *testing.T) {
 	orig := estimatePlansFn
 	defer func() { estimatePlansFn = orig }()
 	calls := 0
-	estimatePlansFn = func(ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, workers int) ([]*sampling.Estimate, error) {
+	estimatePlansFn = func(ctx context.Context, ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, workers int) ([]*sampling.Estimate, error) {
 		calls++
 		time.Sleep(5 * time.Millisecond)
-		return orig(ps, c, cache, workers)
+		return orig(ctx, ps, c, cache, workers)
 	}
 	r.Opts.Timeout = time.Millisecond
 	res, err := r.ReoptimizeMultiSeed(qs[0], 4)

@@ -14,6 +14,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -25,6 +27,17 @@ import (
 	"reopt/internal/sql"
 )
 
+// ErrBudgetExceeded reports that the re-optimization budget — an
+// Options.Timeout or a deadline on the caller's context — expired
+// before the procedure could produce any plan at all. Once a plan
+// exists, budget exhaustion is not an error: the procedure returns the
+// best plan generated so far (§5.4), with Result.Converged false. The
+// sentinel therefore only surfaces when a query's budget was spent
+// before its first optimizer call finished, e.g. while it sat queued
+// behind other queries of a workload. It wraps
+// context.DeadlineExceeded, so errors.Is works against either.
+var ErrBudgetExceeded = fmt.Errorf("re-optimization budget exhausted before a plan was produced: %w", context.DeadlineExceeded)
+
 // Options tune the re-optimization procedure. The zero value runs plain
 // Algorithm 1 to convergence.
 type Options struct {
@@ -34,6 +47,10 @@ type Options struct {
 	MaxRounds int
 	// Timeout caps total re-optimization wall time; 0 means none. Like
 	// MaxRounds, hitting it returns the sampled-cost-best plan so far.
+	// It is implemented as a context deadline (ReoptimizeCtx documents
+	// the exact semantics), so it also aborts a validation in flight —
+	// except the first round's, which always completes so that a result
+	// exists.
 	Timeout time.Duration
 	// Conservative blends each sampled estimate with the optimizer's
 	// statistics-based estimate, weighted by a sample-size confidence
@@ -117,8 +134,55 @@ func New(opt *optimizer.Optimizer, cat *catalog.Catalog) *Reoptimizer {
 
 // Reoptimize runs Algorithm 1 on q and returns the full trace.
 func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
+	return r.ReoptimizeCtx(context.Background(), q)
+}
+
+// ReoptimizeCtx is Reoptimize with cancellation and a unified time
+// budget. Options.Timeout (when set) is applied as a context deadline
+// layered under ctx, and the two kinds of context termination get
+// distinct semantics:
+//
+//   - cancellation (context.Canceled) means the caller abandoned the
+//     work: the procedure aborts — between rounds, or mid-validation
+//     inside the skeleton/batch engines — and returns ctx.Err();
+//   - a deadline (context.DeadlineExceeded, whether from Options.Timeout
+//     or the caller's context.WithTimeout) means the budget is spent:
+//     the procedure stops and returns the best plan generated so far
+//     under sampled costs (§5.4), exactly as the legacy wall-clock
+//     Options.Timeout check did. Only when the deadline fires before
+//     any plan exists does it surface as an error (ErrBudgetExceeded).
+//
+// Round 1's validation is shielded from the internal Options.Timeout
+// deadline (though not from the caller's own), so a Timeout run always
+// returns at least one fully validated round. Runs whose context is
+// never cancelled are byte-identical to Reoptimize.
+func (r *Reoptimizer) ReoptimizeCtx(ctx context.Context, q *sql.Query) (*Result, error) {
+	run, cancel := r.budgetCtx(ctx)
+	defer cancel()
+	return r.reoptimize(ctx, run, q)
+}
+
+// budgetCtx derives the budget context: Options.Timeout as a deadline
+// under ctx (a caller deadline that is already earlier wins).
+func (r *Reoptimizer) budgetCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if r.Opts.Timeout > 0 {
+		return context.WithTimeout(ctx, r.Opts.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// reoptimize is the Algorithm 1 loop. outer is the caller's context
+// (round 1 validates under it, shielded from the internal budget); run
+// carries the budget deadline for everything else.
+func (r *Reoptimizer) reoptimize(outer, run context.Context, q *sql.Query) (*Result, error) {
 	if !r.Cat.HasSamples() {
-		return nil, fmt.Errorf("core: catalog has no samples; call BuildSamples before re-optimizing")
+		return nil, fmt.Errorf("core: %w; call BuildSamples before re-optimizing", sampling.ErrNoSamples)
+	}
+	if err := outer.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("core: %w", ErrBudgetExceeded)
+		}
+		return nil, err
 	}
 	start := time.Now()
 	gamma := optimizer.NewGamma()
@@ -176,10 +240,32 @@ func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
 		// candidate is batched with the previous round's plan: the pair
 		// shares one skeleton pass, and since the previous plan is fully
 		// cached, its presence costs only lookups while letting the
-		// engine fan the combined work out across workers.
+		// engine fan the combined work out across workers. Round 1
+		// validates under the caller's context only, shielded from the
+		// internal budget deadline, so a Timeout run always has one
+		// validated round to return.
+		vctx := run
+		if i == 1 {
+			vctx = outer
+		}
 		t1 := time.Now()
-		est, err := r.estimateBatched(prev, p, cache)
+		est, err := r.estimateBatched(vctx, prev, p, cache)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				// Budget spent mid-validation: drop the incomplete round
+				// and return the best plan so far. If not even round 1
+				// completed, the un-validated P_1 is still the answer —
+				// it is what plain optimization would have returned.
+				if len(res.Rounds) == 0 {
+					res.Final = p
+					res.NumPlans = 1
+					return res, nil
+				}
+				break
+			}
 			return nil, fmt.Errorf("core: round %d: %w", i, err)
 		}
 		round.SamplingTime = time.Since(t1)
@@ -208,7 +294,13 @@ func (r *Reoptimizer) Reoptimize(q *sql.Query) (*Result, error) {
 		if r.Opts.MaxRounds > 0 && i >= r.Opts.MaxRounds {
 			break
 		}
-		if r.Opts.Timeout > 0 && time.Since(start) > r.Opts.Timeout {
+		// Unified budget check (the legacy wall-clock Timeout test):
+		// deadline exhaustion stops with best-so-far, cancellation is an
+		// error.
+		if err := run.Err(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
 			break
 		}
 	}
@@ -290,7 +382,7 @@ func (r *Reoptimizer) runCache() sampling.Cache {
 // while widening the combined work list the engine partitions; with
 // only one effective worker there is nothing to widen, so the
 // candidate goes alone.
-func (r *Reoptimizer) estimateBatched(prev, p *plan.Plan, cache sampling.Cache) (*sampling.Estimate, error) {
+func (r *Reoptimizer) estimateBatched(ctx context.Context, prev, p *plan.Plan, cache sampling.Cache) (*sampling.Estimate, error) {
 	plans := []*plan.Plan{p}
 	workers := r.Opts.Workers
 	if workers <= 0 {
@@ -299,7 +391,7 @@ func (r *Reoptimizer) estimateBatched(prev, p *plan.Plan, cache sampling.Cache) 
 	if prev != nil && workers > 1 {
 		plans = []*plan.Plan{prev, p}
 	}
-	ests, err := estimatePlansFn(plans, r.Cat, cache, r.Opts.Workers)
+	ests, err := estimatePlansFn(ctx, plans, r.Cat, cache, r.Opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -308,4 +400,4 @@ func (r *Reoptimizer) estimateBatched(prev, p *plan.Plan, cache sampling.Cache) 
 
 // estimatePlansFn indirects the batched sampling estimator for
 // failure-injection and cache-equivalence tests.
-var estimatePlansFn = sampling.EstimatePlans
+var estimatePlansFn = sampling.EstimatePlansCtx

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -249,7 +250,7 @@ func TestSamplingFailureInjection(t *testing.T) {
 	orig := estimatePlansFn
 	defer func() { estimatePlansFn = orig }()
 	boom := errors.New("injected sampling failure")
-	estimatePlansFn = func(ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, _ int) ([]*sampling.Estimate, error) {
+	estimatePlansFn = func(_ context.Context, ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, _ int) ([]*sampling.Estimate, error) {
 		return nil, boom
 	}
 	if _, err := r.Reoptimize(qs[0]); !errors.Is(err, boom) {

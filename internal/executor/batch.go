@@ -32,6 +32,7 @@ package executor
 // sequentially, at every worker count and cache state.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -56,6 +57,18 @@ import (
 // GOMAXPROCS. Counts are byte-identical to sequential CountSkeleton
 // runs over the same cache at every worker count.
 func CountSkeletonBatch(plans []*plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) (counts []map[plan.Node]int64, perPlan []error, err error) {
+	return CountSkeletonBatchCtx(context.Background(), plans, binder, cache, workers)
+}
+
+// CountSkeletonBatchCtx is CountSkeletonBatch with cancellation: ctx is
+// checked between waves, between a wave's phases, and before each span
+// of a phase's combined work list, so a cancelled context aborts the
+// batch with ctx.Err() after at most one in-flight span per worker.
+// Results are only written to the cache when their wave completed fully,
+// so an abort never leaves partial sub-results behind — the cache stays
+// exactly as valid as before the call. Uncancelled runs are
+// byte-identical to CountSkeletonBatch.
+func CountSkeletonBatchCtx(ctx context.Context, plans []*plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) (counts []map[plan.Node]int64, perPlan []error, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -68,7 +81,7 @@ func CountSkeletonBatch(plans []*plan.Plan, binder func(string) (*storage.Table,
 		counts = make([]map[plan.Node]int64, len(plans))
 		perPlan = make([]error, len(plans))
 		for i, p := range plans {
-			c, cerr := CountSkeletonWorkers(p, binder, cache, 1)
+			c, cerr := CountSkeletonCtx(ctx, p, binder, cache, 1)
 			if cerr != nil {
 				if errors.Is(cerr, ErrSkeletonUnsupported) {
 					perPlan[i] = cerr
@@ -110,10 +123,13 @@ func CountSkeletonBatch(plans []*plan.Plan, binder func(string) (*storage.Table,
 		if len(wave) == 0 {
 			continue
 		}
+		if err = ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if w == 0 {
-			err = runScanWave(wave, binder, cache, workers)
+			err = runScanWave(ctx, wave, binder, cache, workers)
 		} else {
-			err = runJoinWave(wave, cache, workers)
+			err = runJoinWave(ctx, wave, cache, workers)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -323,18 +339,29 @@ func chunkSpans(n, chunk int) []span {
 
 // runPool drains units across up to workers goroutines. Units must
 // write disjoint state; completion order is irrelevant to the result.
-func runPool(workers int, units []func()) {
+// A cancelled ctx stops workers from claiming further units (in-flight
+// units finish — they are span-sized, so the abort latency is bounded)
+// and runPool returns ctx.Err(); the caller must then discard the
+// phase's partial outputs instead of finalizing them.
+func runPool(ctx context.Context, workers int, units []func()) error {
 	if len(units) == 0 {
-		return
+		return nil
 	}
 	if workers > len(units) {
 		workers = len(units)
 	}
 	if workers <= 1 {
-		for _, u := range units {
+		for i, u := range units {
+			// Amortize the ctx check for micro-units; i&7 keeps the
+			// abort latency within 8 spans.
+			if i&7 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			u()
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -342,9 +369,13 @@ func runPool(workers int, units []func()) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Poll on every claim: units are span-sized (dozens to
+			// thousands of rows of real work), so the ctx check is noise
+			// next to the unit, and each worker stops after at most its
+			// one in-flight unit — the latency bound the API documents.
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(units) {
+				if i >= len(units) || ctx.Err() != nil {
 					return
 				}
 				units[i]()
@@ -352,6 +383,7 @@ func runPool(workers int, units []func()) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // --- Scan wave ---
@@ -368,8 +400,9 @@ type passCacheKey struct {
 // setup (cache probes, binding, one-time filter compilation), then
 // three combined parallel phases — filter bitmaps, selection-vector
 // materialization, boundary-column gathers — each a single span list
-// over every pending task.
-func runScanWave(tasks []*batchTask, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) error {
+// over every pending task. A ctx abort between or during phases returns
+// before the final stage, so nothing partial reaches the cache.
+func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) error {
 	passCache := map[passCacheKey][]scanPass{}
 	var pending []*batchTask
 	total := 0
@@ -441,7 +474,9 @@ func runScanWave(tasks []*batchTask, binder func(string) (*storage.Table, error)
 			}
 		}
 	}
-	runPool(workers, units)
+	if err := runPool(ctx, workers, units); err != nil {
+		return err
+	}
 
 	// Phase 2: materialize surviving row ids, spans writing disjoint
 	// ranges at precomputed offsets so the result is in ascending row
@@ -470,7 +505,9 @@ func runScanWave(tasks []*batchTask, binder func(string) (*storage.Table, error)
 			})
 		}
 	}
-	runPool(workers, units)
+	if err := runPool(ctx, workers, units); err != nil {
+		return err
+	}
 
 	// Phase 3: gather boundary columns for the surviving rows.
 	units = units[:0]
@@ -490,7 +527,9 @@ func runScanWave(tasks []*batchTask, binder func(string) (*storage.Table, error)
 			})
 		}
 	}
-	runPool(workers, units)
+	if err := runPool(ctx, workers, units); err != nil {
+		return err
+	}
 
 	for _, t := range pending {
 		t.sub = &subResult{sig: t.ckey, count: len(t.sel), refs: t.refs, cols: t.cols}
@@ -532,8 +571,9 @@ func intsKey(xs []int) string {
 
 // runJoinWave executes one depth level of join tasks: sequential cache
 // probes and key resolution, parallel deduplicated hash-table builds,
-// then one combined probe span list, merged per task in span order.
-func runJoinWave(tasks []*batchTask, cache *SkeletonCache, workers int) error {
+// then one combined probe span list, merged per task in span order. A
+// ctx abort returns before any result or hash table reaches the cache.
+func runJoinWave(ctx context.Context, tasks []*batchTask, cache *SkeletonCache, workers int) error {
 	var pending []*batchTask
 	total := 0
 	for _, t := range tasks {
@@ -578,7 +618,9 @@ func runJoinWave(tasks []*batchTask, cache *SkeletonCache, workers int) error {
 			tb.table = buildHashTable(tb.r, tb.rkey)
 		})
 	}
-	runPool(workers, units)
+	if err := runPool(ctx, workers, units); err != nil {
+		return err
+	}
 	for _, tb := range buildOrder {
 		for _, t := range tb.users {
 			t.table = tb.table
@@ -606,7 +648,9 @@ func runJoinWave(tasks []*batchTask, cache *SkeletonCache, workers int) error {
 			})
 		}
 	}
-	runPool(workers, units)
+	if err := runPool(ctx, workers, units); err != nil {
+		return err
+	}
 
 	// Merge in span order: identical to a sequential probe.
 	for _, t := range pending {

@@ -188,7 +188,7 @@ func TestSkeletonCacheLRUEviction(t *testing.T) {
 	}
 
 	// A prefix change namespaces new keys: old entries age out.
-	c.SetPrefix("e2|")
+	c = c.WithPrefix("e2|")
 	if got := c.subKey("sig", nil); got != "e2|sig|B:" {
 		t.Errorf("subKey with prefix: %q", got)
 	}
@@ -201,11 +201,11 @@ func TestAdaptiveChunk(t *testing.T) {
 		total, workers int
 		want           int
 	}{
-		{0, 4, 64},          // floor
-		{300, 4, 64},        // small batch: finest legal chunks
-		{100000, 4, 6272},   // over the ceiling: clamped
-		{8192, 4, 512},      // 8192/16 = 512, already aligned
-		{9000, 4, 576},      // 9000/16 = 562 -> rounded up to 576
+		{0, 4, 64},        // floor
+		{300, 4, 64},      // small batch: finest legal chunks
+		{100000, 4, 6272}, // over the ceiling: clamped
+		{8192, 4, 512},    // 8192/16 = 512, already aligned
+		{9000, 4, 576},    // 9000/16 = 562 -> rounded up to 576
 	}
 	for _, tc := range cases {
 		got := adaptiveChunk(tc.total, tc.workers)

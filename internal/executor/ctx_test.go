@@ -1,0 +1,178 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+	"reopt/internal/storage"
+)
+
+// TestRunCtxPreCancelled: an already-cancelled context aborts before any
+// work, and the abort leaves nothing behind that a later run would see.
+func TestRunCtxPreCancelled(t *testing.T) {
+	cat := skelCatalog(t, 1, 200)
+	q := skelQuery()
+	p := skelPlans(cat, q)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, p, cat, Options{CountOnly: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunCtx: got %v, want context.Canceled", err)
+	}
+	if _, err := RunCtx(context.Background(), p, cat, Options{CountOnly: true}); err != nil {
+		t.Fatalf("re-run after abort: %v", err)
+	}
+}
+
+// bigJoin returns a two-table hash-join plan emitting ~6M rows plus the
+// binder resolving its tables, so a concurrent cancel always lands
+// mid-execution.
+func bigJoin() (*plan.Plan, func(string) (*storage.Table, error)) {
+	l := storage.NewTable("l", rel.NewSchema(rel.Column{Name: "k", Kind: rel.KindInt}))
+	r := storage.NewTable("r", rel.NewSchema(rel.Column{Name: "k", Kind: rel.KindInt}))
+	for i := 0; i < 20000; i++ {
+		l.MustAppend(rel.Row{rel.Int(int64(i % 64))})
+		r.MustAppend(rel.Row{rel.Int(int64(i % 64))})
+	}
+	root := &plan.JoinNode{
+		Kind:      plan.HashJoin,
+		Left:      &plan.ScanNode{Alias: "l", Table: "l", Access: plan.SeqScan, OutSchema: l.Schema()},
+		Right:     &plan.ScanNode{Alias: "r", Table: "r", Access: plan.SeqScan, OutSchema: r.Schema()},
+		Preds:     []sql.JoinPred{{Left: sql.ColRef{Table: "l", Column: "k"}, Right: sql.ColRef{Table: "r", Column: "k"}}},
+		OutSchema: l.Schema().Concat(r.Schema()),
+	}
+	binder := func(name string) (*storage.Table, error) {
+		if name == "l" {
+			return l, nil
+		}
+		return r, nil
+	}
+	return &plan.Plan{Root: root, Query: &sql.Query{CountStar: true}}, binder
+}
+
+// TestRunCtxCancelMidExecution: cancelling while the Volcano loop is
+// pulling a ~6M-row join aborts promptly with ctx.Err() instead of
+// draining to completion.
+func TestRunCtxCancelMidExecution(t *testing.T) {
+	p, binder := bigJoin()
+	cat := skelCatalog(t, 1, 10) // table resolution goes through Binder
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunCtx(ctx, p, cat, Options{CountOnly: true, Binder: binder})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-execution cancel: got %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel latency not bounded: %v", elapsed)
+	}
+}
+
+// TestBatchCtxAbortDoesNotPoisonCache: whatever instant a cancellation
+// lands at inside the batch engine, the shared cache must afterwards
+// contain only complete, correct sub-results — verified by re-running
+// the full batch over the post-abort cache and comparing against a
+// fresh-cache run.
+func TestBatchCtxAbortDoesNotPoisonCache(t *testing.T) {
+	cat := skelCatalog(t, 3, 600)
+	q := skelQuery()
+	plans := skelPlans(cat, q)
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+
+	refCounts, refErrs, err := CountSkeletonBatch(plans, cat.Table, nil, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range refErrs {
+		if e != nil {
+			t.Fatalf("plan %d unexpectedly unsupported: %v", i, e)
+		}
+	}
+
+	for delay := time.Duration(0); delay < 300*time.Microsecond; delay += 50 * time.Microsecond {
+		cache := NewSkeletonCache()
+		ctx, cancel := context.WithCancel(context.Background())
+		if delay == 0 {
+			cancel() // abort before the first wave
+		} else {
+			go func(d time.Duration) {
+				time.Sleep(d)
+				cancel()
+			}(delay)
+		}
+		_, _, aerr := CountSkeletonBatchCtx(ctx, plans, cat.Table, cache, workers)
+		cancel()
+		// The abort may or may not have landed before completion; when it
+		// did, the error must be the context's.
+		if aerr != nil && !errors.Is(aerr, context.Canceled) {
+			t.Fatalf("delay %v: got %v, want context.Canceled or nil", delay, aerr)
+		}
+
+		counts, perPlan, rerr := CountSkeletonBatch(plans, cat.Table, cache, workers)
+		if rerr != nil {
+			t.Fatalf("delay %v: re-run over post-abort cache: %v", delay, rerr)
+		}
+		for i := range plans {
+			if perPlan[i] != nil {
+				t.Fatalf("delay %v plan %d: %v", delay, i, perPlan[i])
+			}
+			if !reflect.DeepEqual(counts[i], refCounts[i]) {
+				t.Fatalf("delay %v plan %d: counts diverge after abort", delay, i)
+			}
+		}
+	}
+}
+
+// TestCountSkeletonCtxCancelled: the single-plan engine aborts between
+// nodes with ctx.Err() and leaves the cache usable.
+func TestCountSkeletonCtxCancelled(t *testing.T) {
+	cat := skelCatalog(t, 2, 400)
+	q := skelQuery()
+	p := skelPlans(cat, q)[0]
+	cache := NewSkeletonCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountSkeletonCtx(ctx, p, cat.Table, cache, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CountSkeletonCtx: got %v, want context.Canceled", err)
+	}
+	want, err := CountSkeleton(p, cat.Table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountSkeleton(p, cat.Table, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("post-abort cache produced different counts")
+	}
+}
+
+// TestErrUnsupportedPlanTaxonomy: the skeleton engine's unsupported
+// error and the general executor's unknown-node error both satisfy
+// errors.Is against the base sentinel.
+func TestErrUnsupportedPlanTaxonomy(t *testing.T) {
+	if !errors.Is(ErrSkeletonUnsupported, ErrUnsupportedPlan) {
+		t.Fatal("ErrSkeletonUnsupported must wrap ErrUnsupportedPlan")
+	}
+	cat := skelCatalog(t, 1, 50)
+	// An aggregate node is outside the count-only engine's contract.
+	q := skelQuery()
+	agg := &plan.AggregateNode{Child: skelPlans(cat, q)[0].Root}
+	_, err := CountSkeleton(&plan.Plan{Root: agg, Query: q}, cat.Table, nil)
+	if !errors.Is(err, ErrUnsupportedPlan) || !errors.Is(err, ErrSkeletonUnsupported) {
+		t.Fatalf("aggregate through count skeleton: %v", err)
+	}
+}

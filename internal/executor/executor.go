@@ -8,6 +8,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -66,11 +67,26 @@ type Options struct {
 
 // Run executes the plan against the catalog.
 func Run(p *plan.Plan, cat *catalog.Catalog, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), p, cat, opts)
+}
+
+// RunCtx is Run with cancellation. The Volcano loop is error-free by
+// construction, so cancellation propagates by starvation: every counted
+// wrapper polls ctx once per 1024 rows it emits, and once the context is
+// done it reports exhaustion, which unwinds the whole pipeline — blocking
+// build phases (hash-table builds, merge-sort materializations) drain
+// through counted children, so they stop too. RunCtx then discards the
+// truncated result and returns ctx.Err(). The abort latency is bounded
+// by 1024 emitted rows per operator plus at most one filtered scan pass.
+func RunCtx(ctx context.Context, p *plan.Plan, cat *catalog.Catalog, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.Binder == nil {
 		opts.Binder = cat.Table
 	}
 	res := &Result{NodeRows: make(map[plan.Node]int64)}
-	ex := &executor{cat: cat, opts: opts, res: res}
+	ex := &executor{ctx: ctx, cat: cat, opts: opts, res: res}
 	start := time.Now()
 	it, err := ex.build(p.Root)
 	if err != nil {
@@ -92,6 +108,9 @@ func Run(p *plan.Plan, cat *catalog.Catalog, opts Options) (*Result, error) {
 		if !opts.CountOnly && (grouped || !p.Query.CountStar) {
 			res.Rows = append(res.Rows, project(row))
 		}
+	}
+	if ex.cancelled || ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	if p.Query.CountStar && !grouped && !opts.CountOnly {
 		res.Rows = []rel.Row{{rel.Int(res.Count)}}
@@ -182,9 +201,14 @@ func projector(p *plan.Plan) (func(rel.Row) rel.Row, error) {
 }
 
 type executor struct {
+	ctx  context.Context
 	cat  *catalog.Catalog
 	opts Options
 	res  *Result
+	// cancelled records that a counted wrapper observed ctx done and
+	// began reporting exhaustion; RunCtx checks it after the drain so a
+	// truncated result is never returned as a success.
+	cancelled bool
 }
 
 // iterator is the Volcano pull interface. Construction validates
@@ -232,21 +256,32 @@ func (a *rowArena) concat(l, r rel.Row) rel.Row {
 // tallied in a local counter and flushed into the NodeRows map when the
 // iterator is exhausted, replacing a map increment per tuple with one
 // map write per node (every operator in Run drains its inputs fully, so
-// exhaustion is always reached).
+// exhaustion is always reached). It is also the executor's cancellation
+// point: every 1024 emitted rows it polls the run's context, and once
+// the context is done it reports exhaustion — consumers (including
+// blocking build phases draining a child) then stop promptly, and RunCtx
+// turns the truncated drain into ctx.Err().
 type counted struct {
 	inner iterator
 	node  plan.Node
-	res   *Result
+	ex    *executor
 	n     int64
 }
 
 func (c *counted) next() (rel.Row, bool) {
+	if c.ex.cancelled {
+		return nil, false
+	}
 	row, ok := c.inner.next()
 	if ok {
 		c.n++
+		if c.n&1023 == 0 && c.ex.ctx.Err() != nil {
+			c.ex.cancelled = true
+			return nil, false
+		}
 		return row, true
 	}
-	c.res.NodeRows[c.node] += c.n
+	c.ex.res.NodeRows[c.node] += c.n
 	c.n = 0
 	return nil, false
 }
@@ -262,12 +297,12 @@ func (ex *executor) build(n plan.Node) (iterator, error) {
 	case *plan.AggregateNode:
 		it, err = ex.buildAggregate(t)
 	default:
-		err = fmt.Errorf("executor: unknown node type %T", n)
+		err = fmt.Errorf("executor: unknown node type %T: %w", n, ErrUnsupportedPlan)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &counted{inner: it, node: n, res: ex.res}, nil
+	return &counted{inner: it, node: n, ex: ex}, nil
 }
 
 // filterIdx precomputes filter column positions for a schema.

@@ -6,11 +6,19 @@ package executor
 //   - per-re-optimization (NewSkeletonCache): unbounded, because one
 //     query's subtrees are few and the cache dies with the
 //     re-optimization;
-//   - workload-level (NewSkeletonCacheLRU): shared across queries of a
-//     catalog, bounded by an entry budget with least-recently-used
-//     eviction, and namespaced by a caller-set key prefix (the
+//   - workload-level (NewSkeletonCacheLRU / NewSkeletonCacheBudget):
+//     shared across queries of a catalog, bounded by an entry budget
+//     and optionally by a materialized-value budget with
+//     least-recently-used eviction, and namespaced by a key prefix (the
 //     catalog's sample epoch) so refreshed samples never serve counts
 //     observed on their predecessors.
+//
+// A SkeletonCache value is a *view*: an immutable key prefix over a
+// shared, mutex-guarded store. WithPrefix derives a new view over the
+// same store, so concurrent runs that need different namespaces (e.g.
+// one workload cache serving two catalogs) each hold their own view and
+// never race on the prefix — entries land under the epoch of the run
+// that computed them, always.
 //
 // Entries are keyed by the subtree's canonical signature (relation set
 // plus every predicate applied within it) *and* its boundary-column
@@ -31,14 +39,30 @@ import (
 // SkeletonCache carries validation work across skeleton runs: subtree
 // sub-results and build-side hash tables, keyed so that two plans'
 // subtrees share an entry exactly when they compute the same logical
-// sub-result with the same boundary columns over the same samples.
+// sub-result with the same boundary columns over the same samples. It
+// is a cheap view (immutable prefix + shared store); all methods are
+// safe for concurrent use.
 type SkeletonCache struct {
-	mu     sync.Mutex
+	store  *skelStore
 	prefix string
-	limit  int // max sub-result entries; 0 = unbounded
-	subs   map[string]*list.Element
-	lru    *list.List // front = most recently used
-	tables map[string]map[uint64][]int32
+}
+
+// skelStore is the shared, mutex-guarded state behind every view.
+type skelStore struct {
+	mu    sync.Mutex
+	limit int // max sub-result entries; 0 = unbounded
+	// valueLimit bounds the total number of *materialized boundary-column
+	// values* retained across all entries (0 = unbounded). The entry
+	// limit alone cannot bound memory on skewed workloads: a few huge
+	// subtrees (a cross-product-ish join whose boundary columns carry
+	// hundreds of thousands of values) can dominate while the entry count
+	// stays tiny. Eviction is least-recently-used under both budgets, so
+	// an entry that alone exceeds the value budget is simply not retained.
+	valueLimit int
+	values     int // current total materialized values (see entryValues)
+	subs       map[string]*list.Element
+	lru        *list.List // front = most recently used
+	tables     map[string]map[uint64][]int32
 
 	hits, misses int64
 }
@@ -59,28 +83,62 @@ func NewSkeletonCache() *SkeletonCache { return NewSkeletonCacheLRU(0) }
 // sub-results, evicting least-recently-used entries (and the hash
 // tables built over them) beyond that; limit <= 0 means unbounded.
 func NewSkeletonCacheLRU(limit int) *SkeletonCache {
+	return NewSkeletonCacheBudget(limit, 0)
+}
+
+// NewSkeletonCacheBudget returns an empty cache bounded by both an entry
+// count and a total materialized-value budget (either <= 0 means that
+// budget is unbounded). The value budget counts every boundary-column
+// value held by cached sub-results — the dominant retained memory — so
+// skewed workloads where a few huge subtrees dominate stay within it
+// even when the entry count would not. Build-side hash tables are not
+// charged: they hold int32 row indices over those same sub-results and
+// are evicted with them.
+func NewSkeletonCacheBudget(limit, valueLimit int) *SkeletonCache {
 	if limit < 0 {
 		limit = 0
 	}
-	return &SkeletonCache{
-		limit:  limit,
-		subs:   make(map[string]*list.Element),
-		lru:    list.New(),
-		tables: make(map[string]map[uint64][]int32),
+	if valueLimit < 0 {
+		valueLimit = 0
 	}
+	return &SkeletonCache{store: &skelStore{
+		limit:      limit,
+		valueLimit: valueLimit,
+		subs:       make(map[string]*list.Element),
+		lru:        list.New(),
+		tables:     make(map[string]map[uint64][]int32),
+	}}
 }
 
-// SetPrefix namespaces subsequently built keys. Callers that share one
-// cache across sample sets (sampling.WorkloadCache) set it to the
-// catalog's sample epoch before each run; entries built under other
-// prefixes become unreachable and age out of the LRU.
-func (c *SkeletonCache) SetPrefix(p string) {
+// WithPrefix derives a view over the same store whose keys are
+// namespaced by p. Callers that share one store across sample sets
+// (sampling.WorkloadCache) take a view per run, prefixed with the
+// catalog's sample epoch; entries built under other prefixes are
+// unreachable through this view and age out of the LRU. Views are
+// values: deriving one never mutates shared state, so concurrent runs
+// with different prefixes cannot contaminate each other's namespaces.
+func (c *SkeletonCache) WithPrefix(p string) *SkeletonCache {
 	if c == nil {
-		return
+		return nil
 	}
-	c.mu.Lock()
-	c.prefix = p
-	c.mu.Unlock()
+	if p == c.prefix {
+		return c
+	}
+	return &SkeletonCache{store: c.store, prefix: p}
+}
+
+// entryValues is the value-budget charge for one sub-result: its
+// materialized boundary-column values, floored at 1 so zero-column
+// entries still consume budget and eviction always makes progress.
+func entryValues(sub *subResult) int {
+	n := 0
+	for _, c := range sub.cols {
+		n += len(c)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Len returns the number of cached sub-results (diagnostics).
@@ -88,9 +146,10 @@ func (c *SkeletonCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.subs)
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
 }
 
 // Stats reports sub-result lookup hits and misses (diagnostics).
@@ -98,9 +157,22 @@ func (c *SkeletonCache) Stats() (hits, misses int64) {
 	if c == nil {
 		return 0, 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Values returns the total materialized boundary-column values currently
+// retained (the quantity the value budget bounds; diagnostics).
+func (c *SkeletonCache) Values() int {
+	if c == nil {
+		return 0
+	}
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.values
 }
 
 // appendRefs appends the canonical rendering of a boundary-column set.
@@ -120,70 +192,92 @@ func appendRefs(b []byte, refs []sql.ColRef) []byte {
 
 // subKey builds the cache key for a subtree: prefix (sample epoch
 // namespace), canonical signature, and the boundary-column set the
-// enclosing query requires of it.
+// enclosing query requires of it. The prefix is immutable per view, so
+// no locking is needed.
 func (c *SkeletonCache) subKey(sig string, refs []sql.ColRef) string {
-	c.mu.Lock()
-	p := c.prefix
-	c.mu.Unlock()
-	n := len(p) + len(sig) + 3
+	n := len(c.prefix) + len(sig) + 3
 	for _, r := range refs {
 		n += len(r.Table) + len(r.Column) + 2
 	}
 	b := make([]byte, 0, n)
-	b = append(b, p...)
+	b = append(b, c.prefix...)
 	b = append(b, sig...)
 	return string(appendRefs(b, refs))
 }
 
 // getSub looks a sub-result up, refreshing its recency on a hit.
 func (c *SkeletonCache) getSub(key string) (*subResult, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.subs[key]
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.subs[key]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, false
 	}
-	c.hits++
-	c.lru.MoveToFront(el)
+	s.hits++
+	s.lru.MoveToFront(el)
 	return el.Value.(*skelCacheEntry).sub, true
 }
 
 // putSub inserts (or refreshes) a sub-result, evicting the
-// least-recently-used entries beyond the budget.
+// least-recently-used entries beyond the entry and value budgets. A
+// sub-result whose values alone exceed the value budget is declined up
+// front, before touching the LRU: inserting it first would evict every
+// smaller entry ahead of the oversized one, wiping the cache for an
+// entry that could never be retained anyway. (Keys are
+// content-addressed, so if the key is already cached its sub-result is
+// logically identical — declining the refresh loses nothing.)
 func (c *SkeletonCache) putSub(key string, sub *subResult) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.subs[key]; ok {
-		el.Value.(*skelCacheEntry).sub = sub
-		c.lru.MoveToFront(el)
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.valueLimit > 0 && entryValues(sub) > s.valueLimit {
 		return
 	}
-	c.subs[key] = c.lru.PushFront(&skelCacheEntry{key: key, sub: sub})
-	for c.limit > 0 && len(c.subs) > c.limit {
-		oldest := c.lru.Back()
+	if el, ok := s.subs[key]; ok {
+		e := el.Value.(*skelCacheEntry)
+		s.values += entryValues(sub) - entryValues(e.sub)
+		e.sub = sub
+		s.lru.MoveToFront(el)
+		s.shrinkLocked()
+		return
+	}
+	s.subs[key] = s.lru.PushFront(&skelCacheEntry{key: key, sub: sub})
+	s.values += entryValues(sub)
+	s.shrinkLocked()
+}
+
+// shrinkLocked evicts least-recently-used entries until both budgets
+// hold (or the cache is empty).
+func (s *skelStore) shrinkLocked() {
+	for (s.limit > 0 && len(s.subs) > s.limit) ||
+		(s.valueLimit > 0 && s.values > s.valueLimit) {
+		oldest := s.lru.Back()
 		if oldest == nil {
 			break
 		}
-		c.evictLocked(oldest)
+		s.evictLocked(oldest)
 	}
 }
 
 // evictLocked removes one entry and the hash tables built over it.
-func (c *SkeletonCache) evictLocked(el *list.Element) {
+func (s *skelStore) evictLocked(el *list.Element) {
 	e := el.Value.(*skelCacheEntry)
-	c.lru.Remove(el)
-	delete(c.subs, e.key)
+	s.lru.Remove(el)
+	delete(s.subs, e.key)
+	s.values -= entryValues(e.sub)
 	for _, tk := range e.tableKeys {
-		delete(c.tables, tk)
+		delete(s.tables, tk)
 	}
 }
 
 // getTable looks up a build-side hash table.
 func (c *SkeletonCache) getTable(key string) map[uint64][]int32 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tables[key]
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[key]
 }
 
 // putTable caches a hash table, registering it under the sub-result it
@@ -191,15 +285,16 @@ func (c *SkeletonCache) getTable(key string) map[uint64][]int32 {
 // is no longer cached — possible under a tight budget — the table is
 // not cached either, since nothing would ever evict it.
 func (c *SkeletonCache) putTable(subKey, tableKey string, t map[uint64][]int32) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.subs[subKey]
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.subs[subKey]
 	if !ok {
 		return
 	}
 	e := el.Value.(*skelCacheEntry)
-	if _, dup := c.tables[tableKey]; !dup {
+	if _, dup := s.tables[tableKey]; !dup {
 		e.tableKeys = append(e.tableKeys, tableKey)
 	}
-	c.tables[tableKey] = t
+	s.tables[tableKey] = t
 }

@@ -35,6 +35,7 @@ package executor
 // and build-side hash tables instead of re-executing them.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -49,14 +50,23 @@ import (
 	"reopt/internal/vec"
 )
 
+// ErrUnsupportedPlan is the base sentinel for every "this engine cannot
+// run that plan shape" failure in the package: the count-only skeleton
+// engine's contract violations wrap it via ErrSkeletonUnsupported, and
+// the general executor's unknown-node error wraps it directly. Callers
+// (and the root package, which re-exports it as reopt.ErrUnsupportedPlan)
+// test with errors.Is instead of string-matching.
+var ErrUnsupportedPlan = errors.New("plan not supported by this engine")
+
 // ErrSkeletonUnsupported marks a plan shape outside the count-only
 // engine's contract (a node that is not a scan/equi-join, join
 // predicates not drawn from the query's join list, or scan schemas that
 // do not resolve the query's columns, as hand-built test plans sometimes
 // have). Callers fall back to the general executor on this error — and
 // only on this error, so genuine engine failures stay visible instead of
-// silently degrading every validation to the slow path.
-var ErrSkeletonUnsupported = errors.New("plan shape unsupported by count skeleton")
+// silently degrading every validation to the slow path. It wraps
+// ErrUnsupportedPlan, so errors.Is works against either sentinel.
+var ErrSkeletonUnsupported = fmt.Errorf("plan shape unsupported by count skeleton: %w", ErrUnsupportedPlan)
 
 // subResult is a materialized subtree: its output count and the boundary
 // columns, stored column-major. sig is the cache key the sub-result was
@@ -75,7 +85,7 @@ type subResult struct {
 // samples. cache may be nil. Execution parallelism defaults to
 // GOMAXPROCS; use CountSkeletonWorkers to pin it.
 func CountSkeleton(p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache) (map[plan.Node]int64, error) {
-	return CountSkeletonWorkers(p, binder, cache, 0)
+	return CountSkeletonCtx(context.Background(), p, binder, cache, 0)
 }
 
 // CountSkeletonWorkers is CountSkeleton with an explicit worker count
@@ -84,10 +94,20 @@ func CountSkeleton(p *plan.Plan, binder func(string) (*storage.Table, error), ca
 // deterministic and byte-identical across worker counts: partitions are
 // contiguous row ranges whose private outputs merge in partition order.
 func CountSkeletonWorkers(p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) (map[plan.Node]int64, error) {
+	return CountSkeletonCtx(context.Background(), p, binder, cache, workers)
+}
+
+// CountSkeletonCtx is CountSkeletonWorkers with cancellation: ctx is
+// checked before each node evaluates, so a cancelled context aborts the
+// run between subtrees with ctx.Err(). Only fully evaluated subtrees are
+// ever written to the cache, so an abort never leaves partial results
+// behind; uncancelled runs are byte-identical to CountSkeletonWorkers.
+func CountSkeletonCtx(ctx context.Context, p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) (map[plan.Node]int64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &skelEngine{
+		ctx:      ctx,
 		q:        p.Query,
 		binder:   binder,
 		cache:    cache,
@@ -102,6 +122,7 @@ func CountSkeletonWorkers(p *plan.Plan, binder func(string) (*storage.Table, err
 }
 
 type skelEngine struct {
+	ctx     context.Context
 	q       *sql.Query
 	binder  func(string) (*storage.Table, error)
 	cache   *SkeletonCache
@@ -166,6 +187,13 @@ func intsBuf(buf *[]int, n int) []int {
 }
 
 func (e *skelEngine) eval(n plan.Node) (*subResult, error) {
+	// Cancellation point: once per node. Nodes are bounded by the sample
+	// sizes, so the latency between checks is one subtree's scan or probe.
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	var sub *subResult
 	var err error
 	switch t := n.(type) {

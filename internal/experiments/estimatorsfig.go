@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"reopt/internal/executor"
+	"reopt"
 	"reopt/internal/optimizer"
-	"reopt/internal/sampling"
 	"reopt/internal/sketch"
-	"reopt/internal/sql"
 	"reopt/internal/workload/ott"
 )
 
@@ -32,7 +30,11 @@ func (r *Runner) Estimators() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt := optimizer.New(cat, optimizer.DefaultConfig())
+	sess, err := r.session(cat, optimizer.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	opt := sess.Optimizer()
 
 	t := &Table{
 		ID:    "estimators",
@@ -51,11 +53,11 @@ func (r *Runner) Estimators() (*Table, error) {
 		text := fmt.Sprintf(`SELECT COUNT(*) FROM %s AS t1, %s AS t2
 			WHERE t1.a = %d AND t2.a = %d AND t1.b = t2.b`,
 			r1.Name(), r2.Name(), c.c1, c.c2)
-		q, err := sql.Parse(text, cat)
+		q, err := sess.Parse(text)
 		if err != nil {
 			return nil, err
 		}
-		p, err := opt.Optimize(q, nil)
+		p, err := sess.Optimize(q)
 		if err != nil {
 			return nil, err
 		}
@@ -63,11 +65,11 @@ func (r *Runner) Estimators() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sampEst, err := sampling.EstimatePlan(p, cat)
+		ests, err := sess.Validate(r.ctx, p)
 		if err != nil {
 			return nil, err
 		}
-		sampJoin := sampEst.Delta[optimizer.GammaKeyFor(q.Aliases())]
+		sampJoin := ests[0].Delta[optimizer.GammaKeyFor(q.Aliases())]
 
 		const depth, width, seed = 7, 512, 23
 		s1, err := sketch.SketchColumn(r1, "b", q.SelectionsOn("t1"), depth, width, seed)
@@ -82,7 +84,7 @@ func (r *Runner) Estimators() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		truth, err := executor.Run(p, cat, executor.Options{CountOnly: true})
+		truth, err := sess.Execute(r.ctx, p, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			return nil, err
 		}

@@ -2,9 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"reopt/internal/core"
-	"reopt/internal/executor"
-	"reopt/internal/midquery"
+
+	"reopt"
 	"reopt/internal/optimizer"
 	"reopt/internal/workload/ott"
 )
@@ -30,9 +29,10 @@ func (r *Runner) MidQuery() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt := optimizer.New(cat, optimizer.DefaultConfig())
-	compile := core.New(opt, cat)
-	runtime := midquery.New(opt, cat)
+	sess, err := r.session(cat, optimizer.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		ID:    "midquery",
@@ -41,23 +41,23 @@ func (r *Runner) MidQuery() (*Table, error) {
 			"runtime_total_ms", "materialized_rows", "replans"},
 	}
 	for i, q := range qs {
-		orig, err := opt.Optimize(q, nil)
+		orig, err := sess.Optimize(q)
 		if err != nil {
 			return nil, err
 		}
-		origRun, err := executor.Run(orig, cat, executor.Options{CountOnly: true})
+		origRun, err := sess.Execute(r.ctx, orig, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			return nil, err
 		}
-		cres, err := compile.Reoptimize(q)
+		cres, err := sess.Reoptimize(r.ctx, q)
 		if err != nil {
 			return nil, err
 		}
-		crun, err := executor.Run(cres.Final, cat, executor.Options{CountOnly: true})
+		crun, err := sess.Execute(r.ctx, cres.Final, reopt.ExecOptions{CountOnly: true})
 		if err != nil {
 			return nil, err
 		}
-		rres, err := runtime.Run(q)
+		rres, err := sess.MidQuery(r.ctx, q)
 		if err != nil {
 			return nil, err
 		}

@@ -1,15 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"reopt"
 	"reopt/internal/calibrate"
 	"reopt/internal/catalog"
-	"reopt/internal/core"
 	"reopt/internal/cost"
-	"reopt/internal/executor"
 	"reopt/internal/optimizer"
 	"reopt/internal/sampling"
 	"reopt/internal/sql"
@@ -74,6 +74,7 @@ func (c Config) withDefaults() Config {
 // calibrated cost units, then serves each figure's table.
 type Runner struct {
 	cfg Config
+	ctx context.Context
 
 	calUnits *cost.Units
 	tpchCats map[float64]*catalog.Catalog
@@ -88,13 +89,30 @@ type Runner struct {
 
 // NewRunner returns a Runner over the config.
 func NewRunner(cfg Config) *Runner {
-	r := &Runner{cfg: cfg.withDefaults(), tpchCats: map[float64]*catalog.Catalog{}}
+	return NewRunnerCtx(context.Background(), cfg)
+}
+
+// NewRunnerCtx is NewRunner with a context governing every measurement
+// the runner performs: cancelling it aborts the in-flight experiment
+// (mid-validation or mid-execution) with ctx.Err().
+func NewRunnerCtx(ctx context.Context, cfg Config) *Runner {
+	r := &Runner{ctx: ctx, cfg: cfg.withDefaults(), tpchCats: map[float64]*catalog.Catalog{}}
 	if r.cfg.WorkloadCacheEntries > 0 {
 		// One cache across every experiment and catalog is safe: entries
 		// are namespaced by the catalog's process-unique sample epoch.
 		r.wlCache = sampling.NewWorkloadCache(r.cfg.WorkloadCacheEntries)
 	}
 	return r
+}
+
+// session opens a reopt.Session over cat with the runner's worker and
+// cache configuration — the experiments drive the same public API the
+// examples and cmd/reopt use.
+func (r *Runner) session(cat *catalog.Catalog, cfg optimizer.Config) (*reopt.Session, error) {
+	return reopt.Open(cat,
+		reopt.WithOptimizerConfig(cfg),
+		reopt.WithWorkers(r.cfg.Workers),
+		reopt.WithCache(r.wlCache))
 }
 
 // CalibratedUnits runs (and caches) cost-unit calibration.
@@ -178,25 +196,24 @@ func (r *Runner) measureOneWith(cat *catalog.Catalog, units cost.Units, profile 
 	if profile != nil {
 		cfg.Profile = profile
 	}
-	opt := optimizer.New(cat, cfg)
-	reopt := core.New(opt, cat)
-	reopt.Opts.Workers = r.cfg.Workers
-	reopt.Opts.Cache = r.wlCache
-
 	var qm queryMetric
-	orig, err := opt.Optimize(q, nil)
+	sess, err := r.session(cat, cfg)
+	if err != nil {
+		return qm, err
+	}
+	orig, err := sess.Optimize(q)
 	if err != nil {
 		return qm, fmt.Errorf("optimize: %w", err)
 	}
-	origRun, err := executor.Run(orig, cat, executor.Options{CountOnly: true})
+	origRun, err := sess.Execute(r.ctx, orig, reopt.ExecOptions{CountOnly: true})
 	if err != nil {
 		return qm, fmt.Errorf("run original: %w", err)
 	}
-	res, err := reopt.Reoptimize(q)
+	res, err := sess.Reoptimize(r.ctx, q)
 	if err != nil {
 		return qm, fmt.Errorf("reoptimize: %w", err)
 	}
-	finalRun, err := executor.Run(res.Final, cat, executor.Options{CountOnly: true})
+	finalRun, err := sess.Execute(r.ctx, res.Final, reopt.ExecOptions{CountOnly: true})
 	if err != nil {
 		return qm, fmt.Errorf("run final: %w", err)
 	}
@@ -210,7 +227,7 @@ func (r *Runner) measureOneWith(cat *catalog.Catalog, units cost.Units, profile 
 	qm.overheadMs = ms(res.ReoptTime)
 	if perRound && len(res.Rounds) > 1 {
 		for _, rd := range res.Rounds {
-			run, err := executor.Run(rd.Plan, cat, executor.Options{CountOnly: true})
+			run, err := sess.Execute(r.ctx, rd.Plan, reopt.ExecOptions{CountOnly: true})
 			if err != nil {
 				return qm, fmt.Errorf("run round plan: %w", err)
 			}

@@ -18,6 +18,7 @@
 package midquery
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -66,8 +67,17 @@ func New(opt *optimizer.Optimizer, cat *catalog.Catalog) *Executor {
 // materialized temporary relation, and repeat until one relation
 // remains.
 func (e *Executor) Run(q *sql.Query) (*Result, error) {
+	return e.RunCtx(context.Background(), q)
+}
+
+// RunCtx is Run with cancellation: ctx is checked before each replan
+// step and threaded into every materializing execution, so a cancelled
+// context aborts mid-materialization with ctx.Err(). Temporaries
+// registered before the abort stay in the run's private workspace
+// catalog, which is discarded with the run.
+func (e *Executor) RunCtx(ctx context.Context, q *sql.Query) (*Result, error) {
 	if len(q.GroupBy) > 0 || len(q.OrderBy) > 0 || q.Limit > 0 {
-		return nil, fmt.Errorf("midquery: GROUP BY / ORDER BY / LIMIT queries are not supported by the runtime re-optimizer")
+		return nil, fmt.Errorf("midquery: GROUP BY / ORDER BY / LIMIT queries are not supported by the runtime re-optimizer: %w", executor.ErrUnsupportedPlan)
 	}
 	start := time.Now()
 	res := &Result{Gamma: optimizer.NewGamma()}
@@ -80,6 +90,9 @@ func (e *Executor) Run(q *sql.Query) (*Result, error) {
 	opt := optimizer.New(work.cat, e.Opt.Config())
 
 	for len(work.q.Tables) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := opt.Optimize(work.q, work.gamma())
 		if err != nil {
 			return nil, fmt.Errorf("midquery: replan: %w", err)
@@ -91,7 +104,7 @@ func (e *Executor) Run(q *sql.Query) (*Result, error) {
 		if join == nil {
 			return nil, fmt.Errorf("midquery: plan has no join for %d relations", len(work.q.Tables))
 		}
-		mat, rows, err := work.materialize(join)
+		mat, rows, err := work.materialize(ctx, join)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +128,7 @@ func (e *Executor) Run(q *sql.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := executor.Run(p, work.cat, executor.Options{CountOnly: true})
+	run, err := executor.RunCtx(ctx, p, work.cat, executor.Options{CountOnly: true})
 	if err != nil {
 		return nil, err
 	}
@@ -208,9 +221,9 @@ func deepestJoin(n plan.Node) *plan.JoinNode {
 
 // materialize executes one join subtree and stores the result as a
 // temporary table named _tmpN.
-func (w *workspace) materialize(j *plan.JoinNode) (*storage.Table, int64, error) {
+func (w *workspace) materialize(ctx context.Context, j *plan.JoinNode) (*storage.Table, int64, error) {
 	sub := &plan.Plan{Root: j, Query: &sql.Query{}}
-	run, err := executor.Run(sub, w.cat, executor.Options{})
+	run, err := executor.RunCtx(ctx, sub, w.cat, executor.Options{})
 	if err != nil {
 		return nil, 0, fmt.Errorf("midquery: materialize: %w", err)
 	}

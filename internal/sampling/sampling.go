@@ -8,6 +8,7 @@
 package sampling
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,12 @@ import (
 	"reopt/internal/optimizer"
 	"reopt/internal/plan"
 )
+
+// ErrNoSamples marks a validation attempt against a catalog whose
+// samples have not been built. Callers test with errors.Is (the root
+// package re-exports it as reopt.ErrNoSamples) instead of
+// string-matching; the fix is always to call Catalog.BuildSamples first.
+var ErrNoSamples = errors.New("catalog has no samples (call BuildSamples)")
 
 // Estimate is the Δ produced by validating one plan over the samples.
 type Estimate struct {
@@ -89,7 +96,7 @@ func EstimatePlan(p *plan.Plan, cat *catalog.Catalog) (*Estimate, error) {
 
 // EstimatePlanCached is EstimatePlan with an optional cross-round cache.
 func EstimatePlanCached(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCache) (*Estimate, error) {
-	return EstimatePlanWorkers(p, cat, cache, 0)
+	return EstimatePlanCtx(context.Background(), p, cat, cache, 0)
 }
 
 // EstimatePlanWorkers is EstimatePlanCached with an explicit worker
@@ -99,13 +106,22 @@ func EstimatePlanCached(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCac
 // per-partition outputs in partition order); the knob exists so tests
 // can pin determinism and callers can bound validation parallelism.
 func EstimatePlanWorkers(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCache, workers int) (*Estimate, error) {
+	return EstimatePlanCtx(context.Background(), p, cat, cache, workers)
+}
+
+// EstimatePlanCtx is EstimatePlanWorkers with cancellation: the context
+// is threaded into the skeleton engine (checked between subtrees) and
+// the general-executor fallback (checked in its pull loop), so a
+// cancelled ctx aborts the validation with ctx.Err(). Uncancelled runs
+// are byte-identical to EstimatePlanWorkers.
+func EstimatePlanCtx(ctx context.Context, p *plan.Plan, cat *catalog.Catalog, cache *ValidationCache, workers int) (*Estimate, error) {
 	if !cat.HasSamples() {
-		return nil, fmt.Errorf("sampling: catalog has no samples (call BuildSamples)")
+		return nil, fmt.Errorf("sampling: %w", ErrNoSamples)
 	}
 	start := time.Now()
 	skeleton := rewrite(p.Root)
 	sp := &plan.Plan{Root: skeleton, Query: p.Query}
-	nodeRows, err := skeletonCounts(sp, cat, cache.skeleton(cat), workers)
+	nodeRows, err := skeletonCounts(ctx, sp, cat, cache.skeleton(cat), workers)
 	if err != nil {
 		return nil, fmt.Errorf("sampling: skeleton run: %w", err)
 	}
@@ -134,11 +150,20 @@ func EstimatePlanWorkers(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCa
 // should only do so with engine-supported shapes; optimizer-produced
 // plans always are.
 func EstimatePlans(plans []*plan.Plan, cat *catalog.Catalog, cache Cache, workers int) ([]*Estimate, error) {
+	return EstimatePlansCtx(context.Background(), plans, cat, cache, workers)
+}
+
+// EstimatePlansCtx is EstimatePlans with cancellation: ctx reaches the
+// batch engine (checked between waves, phases, and work-list spans) and
+// the per-plan fallbacks, so a cancelled ctx aborts the whole batch with
+// ctx.Err() mid-validation. Completed subtrees cached before the abort
+// are valid and stay cached; nothing partial is ever stored.
+func EstimatePlansCtx(ctx context.Context, plans []*plan.Plan, cat *catalog.Catalog, cache Cache, workers int) ([]*Estimate, error) {
 	if len(plans) == 0 {
 		return nil, nil
 	}
 	if !cat.HasSamples() {
-		return nil, fmt.Errorf("sampling: catalog has no samples (call BuildSamples)")
+		return nil, fmt.Errorf("sampling: %w", ErrNoSamples)
 	}
 	start := time.Now()
 	var skel *executor.SkeletonCache
@@ -153,7 +178,7 @@ func EstimatePlans(plans []*plan.Plan, cat *catalog.Catalog, cache Cache, worker
 	perPlan := make([]error, len(plans))
 	if useFastPath {
 		var err error
-		counts, perPlan, err = executor.CountSkeletonBatch(skels, cat.Sample, skel, workers)
+		counts, perPlan, err = executor.CountSkeletonBatchCtx(ctx, skels, cat.Sample, skel, workers)
 		if err != nil {
 			return nil, fmt.Errorf("sampling: batch skeleton run: %w", err)
 		}
@@ -172,7 +197,7 @@ func EstimatePlans(plans []*plan.Plan, cat *catalog.Catalog, cache Cache, worker
 				return nil, fmt.Errorf("sampling: batch skeleton run: %w", perPlan[i])
 			}
 			var err error
-			nodeRows, err = volcanoCounts(skels[i], cat)
+			nodeRows, err = volcanoCounts(ctx, skels[i], cat)
 			if err != nil {
 				return nil, fmt.Errorf("sampling: skeleton run: %w", err)
 			}
@@ -260,9 +285,9 @@ var useFastPath = true
 // the explicit unsupported-shape error triggers the fallback — any other
 // engine failure propagates rather than silently degrading every
 // validation to the slow path.
-func skeletonCounts(sp *plan.Plan, cat *catalog.Catalog, skel *executor.SkeletonCache, workers int) (map[plan.Node]int64, error) {
+func skeletonCounts(ctx context.Context, sp *plan.Plan, cat *catalog.Catalog, skel *executor.SkeletonCache, workers int) (map[plan.Node]int64, error) {
 	if useFastPath {
-		counts, err := executor.CountSkeletonWorkers(sp, cat.Sample, skel, workers)
+		counts, err := executor.CountSkeletonCtx(ctx, sp, cat.Sample, skel, workers)
 		if err == nil {
 			return counts, nil
 		}
@@ -270,12 +295,12 @@ func skeletonCounts(sp *plan.Plan, cat *catalog.Catalog, skel *executor.Skeleton
 			return nil, err
 		}
 	}
-	return volcanoCounts(sp, cat)
+	return volcanoCounts(ctx, sp, cat)
 }
 
 // volcanoCounts is the general-executor fallback for per-node counts.
-func volcanoCounts(sp *plan.Plan, cat *catalog.Catalog) (map[plan.Node]int64, error) {
-	res, rerr := executor.Run(sp, cat, executor.Options{
+func volcanoCounts(ctx context.Context, sp *plan.Plan, cat *catalog.Catalog) (map[plan.Node]int64, error) {
+	res, rerr := executor.RunCtx(ctx, sp, cat, executor.Options{
 		CountOnly: true,
 		Binder:    cat.Sample,
 	})

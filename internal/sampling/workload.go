@@ -34,14 +34,12 @@ import (
 const DefaultWorkloadCacheEntries = 4096
 
 // WorkloadCache reuses validation counts across the queries of one
-// workload. It is safe for sequential reuse across any number of
-// re-optimizations against any catalogs (entries are namespaced by
-// sample epoch, which is process-unique), and for concurrent
-// validations against ONE catalog at a time: the epoch namespace is
-// set on the shared store when a validation starts, so concurrent
-// validations against *different* catalogs (or across a BuildSamples
-// call) would race on the namespace and must serialize externally —
-// use one cache per catalog for concurrent multi-catalog work.
+// workload. It is safe for concurrent use against any number of
+// catalogs: each validation takes an immutable view of the shared
+// store, prefixed with the epoch of the catalog it serves (epochs are
+// process-unique), so concurrent validations against different catalogs
+// — or across a BuildSamples call — keep their namespaces separate and
+// can never serve each other's counts.
 type WorkloadCache struct {
 	skel *executor.SkeletonCache
 }
@@ -50,10 +48,22 @@ type WorkloadCache struct {
 // sub-results (least-recently-used eviction; <= 0 selects
 // DefaultWorkloadCacheEntries).
 func NewWorkloadCache(maxEntries int) *WorkloadCache {
+	return NewWorkloadCacheBudget(maxEntries, 0)
+}
+
+// NewWorkloadCacheBudget is NewWorkloadCache with an additional budget
+// on the total *materialized boundary-column values* the cache may
+// retain (<= 0 means unbounded). The entry budget alone cannot bound
+// memory on skewed workloads: a handful of huge subtrees — joins whose
+// boundary columns carry hundreds of thousands of values — can dominate
+// retained memory while the entry count stays small. Under the value
+// budget, least-recently-used entries are evicted until the total fits,
+// and an entry that alone exceeds the budget is simply not retained.
+func NewWorkloadCacheBudget(maxEntries, maxValues int) *WorkloadCache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultWorkloadCacheEntries
 	}
-	return &WorkloadCache{skel: executor.NewSkeletonCacheLRU(maxEntries)}
+	return &WorkloadCache{skel: executor.NewSkeletonCacheBudget(maxEntries, maxValues)}
 }
 
 // Len returns the number of cached subtree results (diagnostics).
@@ -72,12 +82,23 @@ func (c *WorkloadCache) Stats() (hits, misses int64) {
 	return c.skel.Stats()
 }
 
-// skeleton implements Cache: it namespaces the cache for the catalog's
-// current sample set before handing it to the engine.
+// Values returns the total materialized boundary-column values retained
+// — the quantity NewWorkloadCacheBudget's value budget bounds
+// (diagnostics).
+func (c *WorkloadCache) Values() int {
+	if c == nil {
+		return 0
+	}
+	return c.skel.Values()
+}
+
+// skeleton implements Cache: it hands the engine a view of the shared
+// store namespaced for the catalog's current sample set. The view is a
+// value — deriving it mutates nothing — so concurrent validations
+// against different catalogs each see exactly their own epoch.
 func (c *WorkloadCache) skeleton(cat *catalog.Catalog) *executor.SkeletonCache {
 	if c == nil {
 		return nil
 	}
-	c.skel.SetPrefix(fmt.Sprintf("s%d|", cat.SampleEpoch()))
-	return c.skel
+	return c.skel.WithPrefix(fmt.Sprintf("s%d|", cat.SampleEpoch()))
 }

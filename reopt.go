@@ -7,13 +7,42 @@
 // per-table samples, feed the refined estimates back, and repeat until
 // the plan stops changing.
 //
-// Quick start:
+// The front door is Session — a long-lived, goroutine-safe handle
+// created once per catalog that owns the optimizer, the workload-level
+// validation cache, and the validation worker budget, and exposes the
+// whole pipeline as context-aware methods:
 //
 //	cat, _ := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1})
-//	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
-//	q, _ := reopt.Parse(`SELECT COUNT(*) FROM r1, r2 WHERE r1.a = 0 AND r2.a = 1 AND r1.b = r2.b`, cat)
-//	res, _ := reopt.NewReoptimizer(opt, cat).Reoptimize(q)
+//	s, _ := reopt.Open(cat, reopt.WithWorkers(4), reopt.WithSharedCache(4096))
+//	q, _ := s.Parse(`SELECT COUNT(*) FROM r1, r2 WHERE r1.a = 0 AND r2.a = 1 AND r1.b = r2.b`)
+//	res, _ := s.Reoptimize(ctx, q, reopt.WithTimeout(50*time.Millisecond))
 //	fmt.Println(res.Final.Explain())
+//
+// Every method takes a context: cancellation aborts work in flight —
+// between rounds, mid-validation inside the skeleton engines, or
+// mid-execution in the Volcano loop — while a deadline acts as the
+// paper's §5.4 time budget, returning the best plan generated so far.
+// Whole workloads run through one session with bounded concurrency via
+// Session.ReoptimizeWorkload, sharing validated counts across queries.
+//
+// # Migrating from the free functions
+//
+// The free-function API remains for one release of compatibility; each
+// function's deprecation note names its replacement:
+//
+//	NewOptimizer + NewReoptimizer + Reoptimize  ->  Open + Session.Reoptimize
+//	Reoptimizer.ReoptimizeMultiSeed             ->  Session.ReoptimizeMultiSeed
+//	Parse(src, cat)                             ->  Session.Parse(src)
+//	Execute(p, cat, opts)                       ->  Session.Execute(ctx, p, opts)
+//	EstimateBySampling(p, cat)                  ->  Session.Validate(ctx, p)
+//	EstimateBySamplingWorkers(p, cat, w)        ->  Open(cat, WithWorkers(w)) + Session.Validate
+//	EstimateBySamplingBatch(ps, cat, w)         ->  Session.Validate(ctx, ps...)
+//	NewWorkloadCache + ReoptOptions.Cache       ->  Open(cat, WithSharedCache(n))
+//	ReoptOptions fields                         ->  WithMaxRounds / WithTimeout / WithConservative / WithSkipBelowCost
+//	NewMidQueryExecutor + Run                   ->  Session.MidQuery(ctx, q)
+//
+// Failures are classified by the sentinels in errors.go (ErrNoSamples,
+// ErrUnsupportedPlan, ErrBudgetExceeded) — test with errors.Is.
 //
 // See the examples/ directory for runnable programs and DESIGN.md for
 // the system inventory and the paper-experiment index.
@@ -144,6 +173,8 @@ const (
 )
 
 // Parse parses and resolves a SQL query against the catalog.
+//
+// Deprecated: use Session.Parse, which binds the catalog once at Open.
 func Parse(src string, cat *Catalog) (*Query, error) { return sql.Parse(src, cat) }
 
 // DefaultOptimizerConfig returns the standard optimizer configuration
@@ -154,27 +185,41 @@ func DefaultOptimizerConfig() OptimizerConfig { return optimizer.DefaultConfig()
 var DefaultUnits = cost.DefaultUnits
 
 // NewOptimizer returns an optimizer over the catalog.
+//
+// Deprecated: use Open with WithOptimizerConfig; Session.Optimizer
+// exposes the underlying optimizer where one is still needed.
 func NewOptimizer(cat *Catalog, cfg OptimizerConfig) *Optimizer {
 	return optimizer.New(cat, cfg)
 }
 
 // NewReoptimizer returns an Algorithm 1 runner with default options.
+//
+// Deprecated: use Open + Session.Reoptimize, which add context support,
+// concurrency safety, and the session's shared cache and worker budget.
 func NewReoptimizer(opt *Optimizer, cat *Catalog) *Reoptimizer {
 	return core.New(opt, cat)
 }
 
 // NewMidQueryExecutor returns the runtime re-optimization baseline.
+//
+// Deprecated: use Session.MidQuery.
 func NewMidQueryExecutor(opt *Optimizer, cat *Catalog) *MidQueryExecutor {
 	return midquery.New(opt, cat)
 }
 
 // Execute runs a plan against the catalog's base tables.
+//
+// Deprecated: use Session.Execute, which adds cancellation.
 func Execute(p *Plan, cat *Catalog, opts ExecOptions) (*ExecResult, error) {
 	return executor.Run(p, cat, opts)
 }
 
 // EstimateBySampling validates a plan's join skeleton over the
 // catalog's samples, returning Δ (per-relation-set cardinalities).
+//
+// Deprecated: use Session.Validate, which subsumes all three
+// EstimateBySampling variants and adds cancellation and the session's
+// shared cache.
 func EstimateBySampling(p *Plan, cat *Catalog) (*SamplingEstimate, error) {
 	return sampling.EstimatePlan(p, cat)
 }
@@ -183,6 +228,8 @@ func EstimateBySampling(p *Plan, cat *Catalog) (*SamplingEstimate, error) {
 // worker count for the skeleton engine's partitioned loops (0 =
 // GOMAXPROCS, 1 = sequential); the estimate is identical at every
 // setting.
+//
+// Deprecated: use Open(cat, WithWorkers(n)) + Session.Validate.
 func EstimateBySamplingWorkers(p *Plan, cat *Catalog, workers int) (*SamplingEstimate, error) {
 	return sampling.EstimatePlanWorkers(p, cat, nil, workers)
 }
@@ -191,6 +238,8 @@ func EstimateBySamplingWorkers(p *Plan, cat *Catalog, workers int) (*SamplingEst
 // skeleton pass: subtrees shared between the plans execute once and the
 // combined work partitions across workers. Estimates are positional and
 // identical to estimating each plan alone.
+//
+// Deprecated: use Session.Validate(ctx, plans...).
 func EstimateBySamplingBatch(ps []*Plan, cat *Catalog, workers int) ([]*SamplingEstimate, error) {
 	return sampling.EstimatePlans(ps, cat, nil, workers)
 }
@@ -200,9 +249,22 @@ func EstimateBySamplingBatch(ps []*Plan, cat *Catalog, workers int) ([]*Sampling
 // counts across queries (LRU-bounded to maxEntries subtree entries,
 // <= 0 selects the default budget; entries are invalidated when a
 // catalog rebuilds its samples). Reuse never changes estimates, only
-// when they are computed.
+// when they are computed. For a cache additionally bounded by retained
+// materialized values, see NewWorkloadCacheBudget.
+//
+// Deprecated: use Open(cat, WithSharedCache(n)) — or WithCache to hand
+// a Session an existing cache.
 func NewWorkloadCache(maxEntries int) *WorkloadCache {
 	return sampling.NewWorkloadCache(maxEntries)
+}
+
+// NewWorkloadCacheBudget is NewWorkloadCache with a second budget on
+// the total materialized boundary-column values retained (<= 0 means
+// unbounded) — the knob WithSharedCacheValues exposes — so skewed
+// workloads where a few huge subtrees dominate cannot blow the memory
+// budget. Intended for WithCache when a cache outlives one Session.
+func NewWorkloadCacheBudget(maxEntries, maxValues int) *WorkloadCache {
+	return sampling.NewWorkloadCacheBudget(maxEntries, maxValues)
 }
 
 // Calibrate runs the offline cost-unit calibration micro-benchmarks.
@@ -217,6 +279,24 @@ func GenerateOTT(cfg OTTConfig) (*Catalog, error) { return ott.Generate(cfg) }
 // OTTQueries generates OTT query instances (§5.3).
 func OTTQueries(cat *Catalog, cfg OTTQueryConfig) ([]*Query, error) {
 	return ott.Queries(cat, cfg)
+}
+
+// TPCHQueries instantiates template `id` of the TPC-H-style workload n
+// times with different literals (the per-template instances of §5.2).
+func TPCHQueries(cat *Catalog, id, n int, seed int64) ([]*Query, error) {
+	return tpch.Instances(cat, id, n, seed)
+}
+
+// TPCDSQueries instantiates a TPC-DS-style template (e.g. "50'") n
+// times with different literals (Appendix A.2).
+func TPCDSQueries(cat *Catalog, id string, n int, seed int64) ([]*Query, error) {
+	return tpcds.Instances(cat, id, n, seed)
+}
+
+// ExplainAnalyze renders a plan annotated with estimated vs actual row
+// counts from an execution of it.
+func ExplainAnalyze(p *Plan, res *ExecResult) string {
+	return executor.ExplainAnalyze(p, res)
 }
 
 // GenerateTPCDS builds the TPC-DS-style database (Appendix A.2).

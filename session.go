@@ -1,0 +1,364 @@
+package reopt
+
+// Session: the package's front door. Production query engines expose a
+// long-lived engine handle that owns planner state, caches and worker
+// budgets, and mint cheap per-query objects from it; this package grew
+// the other way — free functions accreting variants (EstimateBySampling
+// / ...Workers / ...Batch, NewOptimizer + NewReoptimizer wired by hand)
+// — until embedding it in a server meant rediscovering the wiring in
+// every caller. Session collapses that surface: one goroutine-safe
+// handle per catalog that owns the optimizer, the workload-level
+// validation cache, and the validation worker budget, and exposes the
+// whole pipeline as context-aware methods. The free functions remain as
+// deprecated wrappers for one release of compatibility.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reopt/internal/core"
+	"reopt/internal/executor"
+	"reopt/internal/midquery"
+	"reopt/internal/optimizer"
+	"reopt/internal/sampling"
+	"reopt/internal/sql"
+)
+
+// Session is a long-lived, goroutine-safe handle over one catalog: it
+// owns the cost-based optimizer, the (optional) workload-level
+// validation cache shared by every query that flows through it, and the
+// worker budget for sampling validations. Create one per catalog with
+// Open and share it freely across goroutines — all methods are safe for
+// concurrent use, and concurrent re-optimizations through the shared
+// cache produce results identical to running them sequentially (cache
+// reuse never changes estimates, only when they are computed).
+//
+// The one caveat is catalog mutation: AddTable, Analyze and
+// BuildSamples on the underlying catalog must not run concurrently with
+// in-flight Session calls. Rebuilding samples between (not during)
+// calls is safe and invalidates the shared cache wholesale via the
+// catalog's sample epoch.
+type Session struct {
+	cat     *Catalog
+	opt     *optimizer.Optimizer
+	cache   *sampling.WorkloadCache
+	workers int
+}
+
+// sessionConfig collects Open's functional options.
+type sessionConfig struct {
+	optCfg       OptimizerConfig
+	haveOptCfg   bool
+	workers      int
+	cacheEntries int
+	cacheValues  int
+	wantCache    bool
+	cache        *WorkloadCache
+}
+
+// SessionOption configures Open.
+type SessionOption func(*sessionConfig)
+
+// WithOptimizerConfig selects the optimizer configuration (cost units,
+// estimation profile, search knobs) for every plan the session
+// produces. Without it, DefaultOptimizerConfig applies.
+func WithOptimizerConfig(cfg OptimizerConfig) SessionOption {
+	return func(c *sessionConfig) { c.optCfg, c.haveOptCfg = cfg, true }
+}
+
+// WithWorkers bounds the parallelism of each validation's skeleton run
+// (the partitioned scan/probe loops and the batch engine's combined
+// work lists): 0 selects GOMAXPROCS, 1 forces sequential execution.
+// Estimates are byte-identical at every setting.
+func WithWorkers(n int) SessionOption {
+	return func(c *sessionConfig) { c.workers = n }
+}
+
+// WithSharedCache gives the session a workload-level validation cache
+// of at most maxEntries subtree sub-results (<= 0 selects the default
+// budget): every query re-optimized through the session then reuses
+// validation counts computed for earlier — or concurrently running —
+// queries over the same samples. Reuse never changes estimates, only
+// when they are computed; entries are invalidated wholesale when the
+// catalog rebuilds its samples. Without this option (or WithCache),
+// each re-optimization gets a private cache scoped to its own rounds.
+func WithSharedCache(maxEntries int) SessionOption {
+	return func(c *sessionConfig) {
+		c.cacheEntries = maxEntries
+		c.wantCache = true
+	}
+}
+
+// WithSharedCacheValues additionally bounds the shared cache by the
+// total number of materialized boundary-column values it may retain
+// (<= 0 means unbounded), the paper-workload analogue of a byte budget:
+// on skewed workloads a few huge subtrees can dominate retained memory
+// while the entry count stays small, and the value budget evicts
+// least-recently-used entries until the total fits. Implies
+// WithSharedCache.
+func WithSharedCacheValues(maxValues int) SessionOption {
+	return func(c *sessionConfig) {
+		c.cacheValues = maxValues
+		c.wantCache = true
+	}
+}
+
+// WithCache adopts an existing workload cache instead of creating one —
+// for sharing validation counts between sessions (e.g. two sessions
+// planning one catalog under different optimizer configurations), or
+// for keeping a cache alive across Session lifetimes. Sharing one cache
+// between sessions over different catalogs is safe: entries are
+// namespaced by each catalog's process-unique sample epoch through
+// per-run immutable views, so they can never serve each other's counts.
+// Overrides WithSharedCache budgets when both are given.
+func WithCache(cache *WorkloadCache) SessionOption {
+	return func(c *sessionConfig) { c.cache = cache }
+}
+
+// Open creates a Session over the catalog. The zero-option call
+// `reopt.Open(cat)` gives defaults equivalent to the legacy
+// NewOptimizer + NewReoptimizer pairing: default optimizer
+// configuration, GOMAXPROCS validation workers, no cross-query cache.
+func Open(cat *Catalog, opts ...SessionOption) (*Session, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("reopt: Open: catalog is nil")
+	}
+	var cfg sessionConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !cfg.haveOptCfg {
+		cfg.optCfg = DefaultOptimizerConfig()
+	}
+	s := &Session{
+		cat:     cat,
+		opt:     optimizer.New(cat, cfg.optCfg),
+		workers: cfg.workers,
+	}
+	switch {
+	case cfg.cache != nil:
+		s.cache = cfg.cache
+	case cfg.wantCache:
+		s.cache = sampling.NewWorkloadCacheBudget(cfg.cacheEntries, cfg.cacheValues)
+	}
+	return s, nil
+}
+
+// Catalog returns the catalog the session plans against.
+func (s *Session) Catalog() *Catalog { return s.cat }
+
+// Optimizer returns the session's cost-based optimizer, for callers
+// that need plain optimization or re-costing alongside the pipeline
+// methods.
+func (s *Session) Optimizer() *Optimizer { return s.opt }
+
+// CacheStats reports the shared validation cache's subtree lookup hits
+// and misses (zeros when the session has no shared cache).
+func (s *Session) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// Parse parses and resolves a SQL query against the session's catalog.
+func (s *Session) Parse(src string) (*Query, error) { return sql.Parse(src, s.cat) }
+
+// Optimize plans q once, without validation — the P_1 a plain optimizer
+// would execute, useful as the baseline against Reoptimize's final
+// plan.
+func (s *Session) Optimize(q *Query) (*Plan, error) { return s.opt.Optimize(q, nil) }
+
+// ReoptOption tunes one Reoptimize / ReoptimizeMultiSeed /
+// ReoptimizeWorkload call. The options mirror the paper's §5.4 budget
+// knobs; without any, plain Algorithm 1 runs to convergence.
+type ReoptOption func(*ReoptOptions)
+
+// WithMaxRounds caps optimizer invocations; hitting the cap returns the
+// best plan generated so far under sampled costs (§5.4 early stop).
+func WithMaxRounds(n int) ReoptOption {
+	return func(o *ReoptOptions) { o.MaxRounds = n }
+}
+
+// WithTimeout caps the call's total wall time. It is applied as a
+// context deadline, so it also aborts a validation in flight (except
+// the first round's, which always completes); hitting it returns the
+// best plan generated so far, exactly like a deadline on the call's own
+// ctx. In ReoptimizeWorkload the budget applies per query.
+func WithTimeout(d time.Duration) ReoptOption {
+	return func(o *ReoptOptions) { o.Timeout = d }
+}
+
+// WithConservative blends each sampled estimate with the optimizer's
+// statistics-based estimate, weighted by sample-size confidence (the §7
+// uncertainty-aware variant).
+func WithConservative() ReoptOption {
+	return func(o *ReoptOptions) { o.Conservative = true }
+}
+
+// WithSkipBelowCost disables re-optimization for queries whose initial
+// plan cost is below the threshold (§5.4: skip queries too cheap to be
+// worth validating).
+func WithSkipBelowCost(cost float64) ReoptOption {
+	return func(o *ReoptOptions) { o.SkipBelowCost = cost }
+}
+
+// reoptimizer mints the per-call Algorithm 1 runner: session-owned
+// state (optimizer, shared cache, worker budget) plus the call's
+// options. Reoptimizer itself is stateless across calls, so this is a
+// cheap stack object, not a pooled resource.
+func (s *Session) reoptimizer(opts []ReoptOption) *Reoptimizer {
+	r := core.New(s.opt, s.cat)
+	r.Opts.Workers = s.workers
+	r.Opts.Cache = s.cache
+	for _, o := range opts {
+		o(&r.Opts)
+	}
+	return r
+}
+
+// Reoptimize runs the paper's Algorithm 1 on q: optimize, validate the
+// plan's join skeleton over the samples, fold the refined cardinalities
+// Γ back, repeat until the plan stops changing. Cancelling ctx aborts
+// the procedure — between rounds or mid-validation — with ctx.Err(); a
+// ctx deadline (or WithTimeout) is a budget, returning the best plan
+// generated so far when it expires. Results are byte-identical to the
+// legacy Reoptimizer at every worker count and cache configuration.
+func (s *Session) Reoptimize(ctx context.Context, q *Query, opts ...ReoptOption) (*ReoptResult, error) {
+	return s.reoptimizer(opts).ReoptimizeCtx(ctx, q)
+}
+
+// ReoptimizeMultiSeed runs Algorithm 1 from up to seeds distinct
+// initial plans (the §7 multi-candidate variant) and returns the run
+// whose final plan has the lowest sampled cost. Seeds share one
+// validation cache — and the session's cross-query cache, when
+// configured — and their round-1 candidates validate as one shared-scan
+// batch. Context semantics match Reoptimize.
+func (s *Session) ReoptimizeMultiSeed(ctx context.Context, q *Query, seeds int, opts ...ReoptOption) (*ReoptResult, error) {
+	return s.reoptimizer(opts).ReoptimizeMultiSeedCtx(ctx, q, seeds)
+}
+
+// Validate runs the sampling-based estimator over the plans' join
+// skeletons in one batched pass: subtrees shared between the plans
+// execute once, and the combined work partitions across the session's
+// validation workers. Estimates are positional and byte-identical to
+// validating each plan alone. With a shared cache configured, counts
+// persist for later (and concurrent) queries; without one, the call is
+// self-contained. Cancelling ctx aborts the batch mid-wave with
+// ctx.Err() without poisoning the cache. Validate subsumes the
+// deprecated EstimateBySampling, EstimateBySamplingWorkers and
+// EstimateBySamplingBatch.
+func (s *Session) Validate(ctx context.Context, plans ...*Plan) ([]*SamplingEstimate, error) {
+	return sampling.EstimatePlansCtx(ctx, plans, s.cat, s.samplingCache(), s.workers)
+}
+
+// samplingCache adapts the session's optional shared cache to the
+// estimator's Cache interface; a typed nil inside a non-nil interface
+// would defeat the estimator's nil check, hence the explicit branch.
+func (s *Session) samplingCache() sampling.Cache {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache
+}
+
+// Execute runs a plan against the catalog's base tables. Cancelling ctx
+// aborts the run — the Volcano pull loop polls the context every 1024
+// rows per operator — with ctx.Err().
+func (s *Session) Execute(ctx context.Context, p *Plan, opts ExecOptions) (*ExecResult, error) {
+	return executor.RunCtx(ctx, p, s.cat, opts)
+}
+
+// MidQuery executes q under the runtime (mid-query) re-optimization
+// baseline the paper compares against: materialize each join, observe
+// the true cardinality, replan the rest. Cancelling ctx aborts
+// mid-materialization with ctx.Err().
+func (s *Session) MidQuery(ctx context.Context, q *Query) (*MidQueryResult, error) {
+	return midquery.New(s.opt, s.cat).RunCtx(ctx, q)
+}
+
+// ReoptimizeWorkload re-optimizes a batch of queries with bounded
+// concurrency — the workload-scale mode the paper argues sampling makes
+// affordable ("re-optimize every query"). parallelism bounds the number
+// of queries in flight (<= 0 selects GOMAXPROCS); per-query budgets
+// (WithMaxRounds, WithTimeout) apply to each query independently.
+// Queries share the session's cross-query cache when one is configured,
+// so similar instances validate against each other's counts, and every
+// query's result is identical to re-optimizing it sequentially.
+//
+// Results are positional. The first query error cancels the remaining
+// work and is returned; cancelling ctx cancels every in-flight query
+// and returns ctx.Err(). A deadline on ctx follows the package's
+// budget semantics instead: queries already answered keep their
+// results (in-flight ones return their best-so-far plans), and the
+// call returns the partial result slice alongside an error wrapping
+// ErrBudgetExceeded, with nil entries for the queries whose budget was
+// spent while they sat queued.
+func (s *Session) ReoptimizeWorkload(ctx context.Context, queries []*Query, parallelism int, opts ...ReoptOption) ([]*ReoptResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*ReoptResult, len(queries))
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) || wctx.Err() != nil {
+					return
+				}
+				res, err := s.Reoptimize(wctx, queries[i], opts...)
+				if err != nil {
+					// Budget exhaustion is not a workload-fatal error:
+					// this query never produced a plan, but completed
+					// queries keep their results. Everything else
+					// cancels the remaining work.
+					if errors.Is(err, context.DeadlineExceeded) {
+						return
+					}
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("reopt: workload query %d: %w", i, err)
+						cancel()
+					})
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	missing := 0
+	for _, r := range results {
+		if r == nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		// Only a spent budget leaves holes at this point: in-flight
+		// queries returned best-so-far results without error.
+		return results, fmt.Errorf("reopt: workload budget exhausted with %d/%d queries unanswered: %w",
+			missing, len(queries), ErrBudgetExceeded)
+	}
+	return results, nil
+}
