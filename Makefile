@@ -9,7 +9,16 @@ SHELL := /bin/bash
 GO ?= go
 BENCH_SHA ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all vet build test race check examples bench bench-smoke bench-hotpath bench-json
+# Packages that define benchmarks, derived from the sources so a new
+# benchmark file lands in the series by existing: hardcoding the list
+# here once silently dropped whole packages from BENCH_<sha>.json.
+BENCH_PKGS = $(shell grep -rl --include='*_test.go' 'func Benchmark' . | xargs -n1 dirname | sort -u)
+
+# The hot-path series tracked across PRs (bench-hotpath, bench-json,
+# and the committed BENCH_baseline.json regression gate).
+BENCH_HOTPATH_RE = BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel|BenchmarkWorkloadScheduler|BenchmarkExecutorJoinRows
+
+.PHONY: all vet build test race check examples bench bench-smoke bench-hotpath bench-json bench-compare bench-baseline
 
 all: check
 
@@ -41,12 +50,13 @@ check: vet build test
 # bench-smoke runs every benchmark for a single iteration — a cheap
 # compile-and-execute pass that CI uses to keep the harness green.
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -run xxx -bench . -benchtime 1x $(BENCH_PKGS)
 
 # bench-hotpath measures the re-optimization hot path with allocation
-# counts (the series tracked across PRs).
+# counts (the series tracked across PRs), over the same derived package
+# list as bench-json so no series benchmark can silently drop out.
 bench-hotpath:
-	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel' -benchtime 2s .
+	$(GO) test -run xxx -bench '$(BENCH_HOTPATH_RE)' -benchtime 2s -benchmem $(BENCH_PKGS)
 
 # bench runs everything and archives the numbers as machine-readable
 # JSON (ns/op, B/op, allocs/op per benchmark) named after the commit,
@@ -56,8 +66,25 @@ bench:
 	$(GO) run ./cmd/benchjson -in bench.out -sha $(BENCH_SHA) -out BENCH_$(BENCH_SHA).json
 
 # bench-json is the CI variant: the hot-path series only (fast enough
-# for every push), archived as BENCH_<sha>.json and uploaded as a
-# workflow artifact.
+# for every push), over the derived benchmark packages, archived as
+# BENCH_<sha>.json and uploaded as a workflow artifact. 2s benchtime:
+# the regression gate compares these numbers against the committed
+# baseline, and 1s runs carry too much scheduler/turbo noise.
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel|BenchmarkExecutorJoinRows' -benchtime 1s -benchmem . ./internal/executor | tee bench.out
+	$(GO) test -run xxx -bench '$(BENCH_HOTPATH_RE)' -benchtime 2s -benchmem $(BENCH_PKGS) | tee bench.out
 	$(GO) run ./cmd/benchjson -in bench.out -sha $(BENCH_SHA) -out BENCH_$(BENCH_SHA).json
+
+# bench-compare regenerates the hot-path series and fails on a >25%
+# ns/op regression against the committed baseline (or on a benchmark
+# silently dropping out of the series). CI runs it with GOMAXPROCS>=2;
+# the verdict lines land in BENCH_compare.txt for the artifact upload.
+bench-compare: bench-json
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -against BENCH_$(BENCH_SHA).json -max-regress 25 | tee BENCH_compare.txt
+
+# bench-baseline refreshes the committed baseline from a fresh run.
+# Regenerate (on the CI runner class, GOMAXPROCS>=2) whenever the
+# series changes shape or the runner hardware shifts, and commit the
+# result.
+bench-baseline: bench-json
+	cp BENCH_$(BENCH_SHA).json BENCH_baseline.json
+	@echo "bench-baseline: wrote BENCH_baseline.json — commit it"

@@ -313,6 +313,18 @@ func BenchmarkHashJoinKeys(b *testing.B) {
 	}
 }
 
+// benchParallelisms is the worker/parallelism sweep shared by the
+// concurrency benchmarks: 1, 2 and NumCPU, deduplicated so hosts with
+// 1 or 2 CPUs do not emit colliding "#01" sub-benchmark names — those
+// would break the BENCH_baseline.json series across runner shapes.
+func benchParallelisms() []int {
+	ps := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
 // BenchmarkReoptimizeMultiSeed times the §7 multi-seed variant (4
 // seeded runs of Algorithm 1), whose round-1 candidates validate as one
 // shared-scan batch: subtrees shared between the seeds execute once and
@@ -332,7 +344,7 @@ func BenchmarkReoptimizeMultiSeed(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := reopt.NewOptimizer(cat, reopt.DefaultOptimizerConfig())
-	for _, w := range []int{1, 2, runtime.NumCPU()} {
+	for _, w := range benchParallelisms() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			r := reopt.NewReoptimizer(opt, cat)
 			r.Opts.Workers = w
@@ -366,7 +378,7 @@ func BenchmarkSessionWorkloadParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	ctx := context.Background()
-	for _, par := range []int{1, 2, runtime.NumCPU()} {
+	for _, par := range benchParallelisms() {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			s, err := reopt.Open(cat, reopt.WithSharedCache(0))
 			if err != nil {
@@ -380,6 +392,71 @@ func BenchmarkSessionWorkloadParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkWorkloadScheduler measures the cross-query validation
+// scheduler on the repeated-OTT workload — two query templates, each
+// arriving three times, the §6 experiment shape where one parametrized
+// query hits the engine from many users. "off" is PR 4's
+// ReoptimizeWorkload (concurrent queries, per-query validation caches,
+// every query validates alone); "on" adds WithWorkloadScheduler, so
+// in-flight queries' validations coalesce into shared skeleton-batch
+// waves and repeated instances' common subtrees execute once per wave
+// instead of once per query. Each iteration opens a fresh session — the
+// cold-workload shape, where the cross-query scans are still there to
+// share (BenchmarkSessionWorkloadParallel covers the warm steady
+// state). At parallelism=1 every wave is a single request (the
+// all-waiting trigger flushes immediately), so "on" must track "off"
+// within noise; at parallelism >= 2 the in-flight dedup cuts validated
+// work — visible as lower ns/op even on one physical core — and
+// req/wave > 1 reports how much of the workload coalesced.
+func BenchmarkWorkloadScheduler(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var qs []*reopt.Query
+	for i := 0; i < 3; i++ {
+		qs = append(qs, base...)
+	}
+	ctx := context.Background()
+	for _, sched := range []bool{false, true} {
+		for _, par := range benchParallelisms() {
+			mode := "off"
+			if sched {
+				mode = "on"
+			}
+			b.Run(fmt.Sprintf("sched=%s/parallel=%d", mode, par), func(b *testing.B) {
+				b.ReportAllocs()
+				var waves, reqs int64
+				for i := 0; i < b.N; i++ {
+					var opts []reopt.SessionOption
+					if sched {
+						opts = append(opts, reopt.WithWorkloadScheduler(0))
+					}
+					s, err := reopt.Open(cat, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.ReoptimizeWorkload(ctx, qs, par); err != nil {
+						b.Fatal(err)
+					}
+					stats := s.SchedulerStats()
+					waves += stats.Waves
+					reqs += stats.Requests
+				}
+				if sched && waves > 0 {
+					b.ReportMetric(float64(reqs)/float64(waves), "req/wave")
+				}
+			})
+		}
 	}
 }
 

@@ -72,7 +72,7 @@ func (r *Reoptimizer) ReoptimizeMultiSeedCtx(ctx context.Context, q *sql.Query, 
 	var warmShare time.Duration
 	if len(initials) > 1 && r.Opts.Timeout == 0 {
 		t0 := time.Now()
-		if _, err := estimatePlansFn(run, initials, r.Cat, cache, r.Opts.Workers); err != nil {
+		if _, err := r.validatePlans(run, initials, cache); err != nil {
 			if !errors.Is(err, context.DeadlineExceeded) {
 				return nil, err
 			}

@@ -74,6 +74,24 @@ type Options struct {
 	// cache scoped to one re-optimization. Reuse never changes
 	// estimates, only when they are computed.
 	Cache *sampling.WorkloadCache
+	// Validator optionally reroutes every validation the round loop
+	// issues — candidate plans, the batched previous plan, multi-seed
+	// round-1 batches — through an external engine, e.g. a
+	// sampling.SchedulerClient that coalesces validations across
+	// concurrently re-optimizing queries into shared skeleton waves.
+	// nil validates directly via sampling.EstimatePlansCtx with
+	// Options.Workers. A Validator must return estimates byte-identical
+	// to the direct path (batching and caching may change when counts
+	// are computed, never their values).
+	Validator Validator
+}
+
+// Validator abstracts the engine the round loop submits candidate-plan
+// validations to. Implementations must be positional (estimate i
+// belongs to plans[i]) and byte-identical to
+// sampling.EstimatePlansCtx over the same cache.
+type Validator interface {
+	ValidatePlans(ctx context.Context, plans []*plan.Plan, cache sampling.Cache) ([]*sampling.Estimate, error)
 }
 
 // Round records one iteration of Algorithm 1.
@@ -391,11 +409,21 @@ func (r *Reoptimizer) estimateBatched(ctx context.Context, prev, p *plan.Plan, c
 	if prev != nil && workers > 1 {
 		plans = []*plan.Plan{prev, p}
 	}
-	ests, err := estimatePlansFn(ctx, plans, r.Cat, cache, r.Opts.Workers)
+	ests, err := r.validatePlans(ctx, plans, cache)
 	if err != nil {
 		return nil, err
 	}
 	return ests[len(ests)-1], nil
+}
+
+// validatePlans routes one validation through the injected Validator
+// when configured (the workload scheduler path) and directly into the
+// batched sampling estimator otherwise.
+func (r *Reoptimizer) validatePlans(ctx context.Context, plans []*plan.Plan, cache sampling.Cache) ([]*sampling.Estimate, error) {
+	if r.Opts.Validator != nil {
+		return r.Opts.Validator.ValidatePlans(ctx, plans, cache)
+	}
+	return estimatePlansFn(ctx, plans, r.Cat, cache, r.Opts.Workers)
 }
 
 // estimatePlansFn indirects the batched sampling estimator for

@@ -69,19 +69,48 @@ func CountSkeletonBatch(plans []*plan.Plan, binder func(string) (*storage.Table,
 // exactly as valid as before the call. Uncancelled runs are
 // byte-identical to CountSkeletonBatch.
 func CountSkeletonBatchCtx(ctx context.Context, plans []*plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) (counts []map[plan.Node]int64, perPlan []error, err error) {
+	bplans := make([]BatchPlan, len(plans))
+	for i, p := range plans {
+		bplans[i] = BatchPlan{Plan: p, Cache: cache}
+	}
+	return CountSkeletonBatchPlansCtx(ctx, bplans, binder, workers)
+}
+
+// BatchPlan pairs one plan of a cross-query batch with the cache its
+// requester validates through. Plans of one requester share a cache;
+// plans of different requesters may carry different caches (or none),
+// and the batch still deduplicates their common subtrees — a sub-result
+// computed once is charged to every requester's cache.
+type BatchPlan struct {
+	Plan  *plan.Plan
+	Cache *SkeletonCache // may be nil (uncached requester)
+}
+
+// CountSkeletonBatchPlansCtx is the cross-query generalization of
+// CountSkeletonBatchCtx: each submitted plan carries its own cache, so
+// validations of *different* queries — each holding a private per-run
+// cache, or distinct views of one workload cache — execute as one
+// deduplicated, partitioned pass. Subtrees shared across requesters run
+// once; the sub-result (and any build-side hash table) is then stored
+// under every requester's cache, and a hit in any one requester's cache
+// is propagated to the others, so per-requester caches stay exactly as
+// warm as if each requester had run alone. Counts are byte-identical to
+// sequential CountSkeleton runs per plan over its own cache, at every
+// worker count and cache mixture.
+func CountSkeletonBatchPlansCtx(ctx context.Context, bplans []BatchPlan, binder func(string) (*storage.Table, error), workers int) (counts []map[plan.Node]int64, perPlan []error, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
 		// One worker means the combined work list cannot fan out, so the
 		// batch machinery (task graph, span closures, per-task bitmaps)
-		// would be pure overhead. The single-plan engine over the shared
+		// would be pure overhead. The single-plan engine over each plan's
 		// cache computes identical counts — cross-plan reuse still comes
-		// from the cache — with reusable per-engine scratch.
-		counts = make([]map[plan.Node]int64, len(plans))
-		perPlan = make([]error, len(plans))
-		for i, p := range plans {
-			c, cerr := CountSkeletonCtx(ctx, p, binder, cache, 1)
+		// from shared caches — with reusable per-engine scratch.
+		counts = make([]map[plan.Node]int64, len(bplans))
+		perPlan = make([]error, len(bplans))
+		for i, bp := range bplans {
+			c, cerr := CountSkeletonCtx(ctx, bp.Plan, binder, bp.Cache, 1)
 			if cerr != nil {
 				if errors.Is(cerr, ErrSkeletonUnsupported) {
 					perPlan[i] = cerr
@@ -93,12 +122,12 @@ func CountSkeletonBatchCtx(ctx context.Context, plans []*plan.Plan, binder func(
 		}
 		return counts, perPlan, nil
 	}
-	b := &batchBuilder{cache: cache, tasks: map[string]*batchTask{}}
-	nodeTasks := make([]map[plan.Node]*batchTask, len(plans))
-	perPlan = make([]error, len(plans))
-	for i, p := range plans {
+	b := &batchBuilder{tasks: map[string]*batchTask{}}
+	nodeTasks := make([]map[plan.Node]*batchTask, len(bplans))
+	perPlan = make([]error, len(bplans))
+	for i, bp := range bplans {
 		m := map[plan.Node]*batchTask{}
-		if _, berr := b.taskFor(p.Root, p.Query, m); berr != nil {
+		if _, berr := b.taskFor(bp.Plan.Root, bp.Plan.Query, bp.Cache, m); berr != nil {
 			// Tasks already created for this plan's subtrees stay in the
 			// batch: they are valid work, and other plans may share them.
 			perPlan[i] = berr
@@ -127,17 +156,17 @@ func CountSkeletonBatchCtx(ctx context.Context, plans []*plan.Plan, binder func(
 			return nil, nil, err
 		}
 		if w == 0 {
-			err = runScanWave(ctx, wave, binder, cache, workers)
+			err = runScanWave(ctx, wave, binder, workers)
 		} else {
-			err = runJoinWave(ctx, wave, cache, workers)
+			err = runJoinWave(ctx, wave, workers)
 		}
 		if err != nil {
 			return nil, nil, err
 		}
 	}
 
-	counts = make([]map[plan.Node]int64, len(plans))
-	for i := range plans {
+	counts = make([]map[plan.Node]int64, len(bplans))
+	for i := range bplans {
 		if perPlan[i] != nil {
 			continue
 		}
@@ -150,15 +179,29 @@ func CountSkeletonBatchCtx(ctx context.Context, plans []*plan.Plan, binder func(
 	return counts, perPlan, nil
 }
 
+// cacheRef is one requester cache a task serves: the (prefix-qualified)
+// key of the task's sub-result under that cache, and — for joins,
+// resolved during the wave — the key and cached value of the build-side
+// hash table. A task shared by requesters holding different caches
+// carries one ref per distinct cache, so the sub-result computed (or
+// found) once lands in every requester's cache.
+type cacheRef struct {
+	cache *SkeletonCache
+	key   string             // sub-result key under cache
+	tkey  string             // hash-table key under cache (join waves)
+	table map[uint64][]int32 // cached table found under cache, if any
+}
+
 // batchTask is one deduplicated logical subtree of the batch. Exactly
 // one of scan/join is set; left/right are set for joins.
 type batchTask struct {
-	seq  int    // creation order
-	key  string // dedupe key: signature + boundary refs
-	ckey string // cache key (prefix-qualified); "" when uncached
-	q    *sql.Query
-	refs []sql.ColRef
-	wave int
+	seq   int    // creation order
+	key   string // dedupe key: signature + boundary refs
+	sig   string // canonical subtree signature (cache-independent)
+	crefs []cacheRef
+	q     *sql.Query
+	refs  []sql.ColRef
+	wave  int
 
 	scan        *plan.ScanNode
 	join        *plan.JoinNode
@@ -184,9 +227,80 @@ type batchTask struct {
 	sel    []int32
 	cols   [][]rel.Value
 	table  map[uint64][]int32
-	tkey   string
 	parts  []probePart
 	pspans []span
+}
+
+// addCache registers one more requester cache on the task (and,
+// transitively via taskFor's recursion, on every task of that
+// requester's subtree). Distinct views of one store with the same
+// prefix resolve to the same key, so they collapse into one ref.
+func (t *batchTask) addCache(c *SkeletonCache) {
+	if c == nil {
+		return
+	}
+	for i := range t.crefs {
+		if t.crefs[i].cache.store == c.store && t.crefs[i].cache.prefix == c.prefix {
+			return
+		}
+	}
+	t.crefs = append(t.crefs, cacheRef{cache: c, key: c.subKey(t.sig, t.refs)})
+}
+
+// primaryKey is the sig a freshly computed sub-result carries: the
+// first registered cache's key, or "" for a fully uncached task —
+// exactly what the single-cache engine would have stored.
+func (t *batchTask) primaryKey() string {
+	if len(t.crefs) == 0 {
+		return ""
+	}
+	return t.crefs[0].key
+}
+
+// keyFor returns the task's sub-result key under the given cache's
+// namespace, or "" when the task does not serve that cache.
+func (t *batchTask) keyFor(c *SkeletonCache) string {
+	for i := range t.crefs {
+		if t.crefs[i].cache.store == c.store && t.crefs[i].cache.prefix == c.prefix {
+			return t.crefs[i].key
+		}
+	}
+	return ""
+}
+
+// lookupSub probes the task's caches in registration order and, on a
+// hit, propagates the sub-result into the caches that missed — exactly
+// what each of those requesters would have stored had it validated the
+// subtree alone. Cached sub-results are content-addressed, so whichever
+// cache answers, the counts are the ones a fresh execution would
+// produce, byte for byte.
+func (t *batchTask) lookupSub() *subResult {
+	for i := range t.crefs {
+		if sub, ok := t.crefs[i].cache.getSub(t.crefs[i].key); ok {
+			t.storeSub(sub, i)
+			return sub
+		}
+	}
+	return nil
+}
+
+// storeSub writes a sub-result into every registered cache except the
+// one at index skip (-1 stores everywhere). Each cache receives a view
+// carrying its own key as sig, so hash-table keying against that cache
+// stays consistent for later single-plan runs; the materialized columns
+// are shared, never copied.
+func (t *batchTask) storeSub(sub *subResult, skip int) {
+	for i := range t.crefs {
+		if i == skip {
+			continue
+		}
+		cr := &t.crefs[i]
+		s := sub
+		if s.sig != cr.key {
+			s = &subResult{sig: cr.key, count: sub.count, refs: sub.refs, cols: sub.cols}
+		}
+		cr.cache.putSub(cr.key, s)
+	}
 }
 
 // probePart is one span's private probe output.
@@ -197,7 +311,6 @@ type probePart struct {
 
 // batchBuilder deduplicates subtrees across the submitted plans.
 type batchBuilder struct {
-	cache *SkeletonCache
 	tasks map[string]*batchTask
 	order []*batchTask
 }
@@ -209,24 +322,24 @@ func refsSuffix(refs []sql.ColRef) string {
 }
 
 // taskFor returns the (possibly shared) task computing node n of query
-// q, creating it — and recursively its children — on first encounter.
+// q, creating it — and recursively its children — on first encounter,
+// and registers cache (the submitting plan's) on the task either way.
 // All unsupported-shape detection happens here, before any execution,
 // so one bad plan never aborts the batch. m records the node→task
 // mapping for the plan being built.
-func (b *batchBuilder) taskFor(n plan.Node, q *sql.Query, m map[plan.Node]*batchTask) (*batchTask, error) {
+func (b *batchBuilder) taskFor(n plan.Node, q *sql.Query, cache *SkeletonCache, m map[plan.Node]*batchTask) (*batchTask, error) {
 	switch t := n.(type) {
 	case *plan.ScanNode:
 		refs := boundaryColumns(q, []string{t.Alias})
 		sig := subtreeSig(t)
 		key := sig + refsSuffix(refs)
 		if bt, ok := b.tasks[key]; ok {
+			bt.addCache(cache)
 			m[n] = bt
 			return bt, nil
 		}
-		bt := &batchTask{seq: len(b.order), key: key, q: q, refs: refs, scan: t}
-		if b.cache != nil {
-			bt.ckey = b.cache.subKey(sig, refs)
-		}
+		bt := &batchTask{seq: len(b.order), key: key, sig: sig, q: q, refs: refs, scan: t}
+		bt.addCache(cache)
 		bt.filterPos = make([]int, len(t.Filters))
 		for fi, f := range t.Filters {
 			pos, err := t.OutSchema.IndexOf(f.Col.Table, f.Col.Column)
@@ -251,11 +364,11 @@ func (b *batchBuilder) taskFor(n plan.Node, q *sql.Query, m map[plan.Node]*batch
 		return bt, nil
 
 	case *plan.JoinNode:
-		l, err := b.taskFor(t.Left, q, m)
+		l, err := b.taskFor(t.Left, q, cache, m)
 		if err != nil {
 			return nil, err
 		}
-		r, err := b.taskFor(t.Right, q, m)
+		r, err := b.taskFor(t.Right, q, cache, m)
 		if err != nil {
 			return nil, err
 		}
@@ -263,20 +376,19 @@ func (b *batchBuilder) taskFor(n plan.Node, q *sql.Query, m map[plan.Node]*batch
 		sig := subtreeSig(t)
 		key := sig + refsSuffix(refs)
 		if bt, ok := b.tasks[key]; ok {
+			bt.addCache(cache)
 			m[n] = bt
 			return bt, nil
 		}
 		bt := &batchTask{
-			seq: len(b.order), key: key, q: q, refs: refs,
+			seq: len(b.order), key: key, sig: sig, q: q, refs: refs,
 			join: t, left: l, right: r,
 		}
 		bt.wave = l.wave + 1
 		if r.wave >= l.wave {
 			bt.wave = r.wave + 1
 		}
-		if b.cache != nil {
-			bt.ckey = b.cache.subKey(sig, refs)
-		}
+		bt.addCache(cache)
 		bt.preds, bt.lkey, bt.rkey, err = joinKeys(t.Preds, l.refs, r.refs)
 		if err != nil {
 			return nil, err
@@ -401,17 +513,15 @@ type passCacheKey struct {
 // three combined parallel phases — filter bitmaps, selection-vector
 // materialization, boundary-column gathers — each a single span list
 // over every pending task. A ctx abort between or during phases returns
-// before the final stage, so nothing partial reaches the cache.
-func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) error {
+// before the final stage, so nothing partial reaches any cache.
+func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*storage.Table, error), workers int) error {
 	passCache := map[passCacheKey][]scanPass{}
 	var pending []*batchTask
 	total := 0
 	for _, t := range tasks {
-		if cache != nil {
-			if sub, ok := cache.getSub(t.ckey); ok {
-				t.sub = sub
-				continue
-			}
+		if sub := t.lookupSub(); sub != nil {
+			t.sub = sub
+			continue
 		}
 		tab, err := binder(t.scan.Table)
 		if err != nil {
@@ -532,10 +642,8 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 	}
 
 	for _, t := range pending {
-		t.sub = &subResult{sig: t.ckey, count: len(t.sel), refs: t.refs, cols: t.cols}
-		if cache != nil {
-			cache.putSub(t.ckey, t.sub)
-		}
+		t.sub = &subResult{sig: t.primaryKey(), count: len(t.sel), refs: t.refs, cols: t.cols}
+		t.storeSub(t.sub, -1)
 		t.cs, t.passes, t.bm, t.fb = nil, nil, nil, nil
 		t.spans, t.cnts, t.sel, t.cols = nil, nil, nil, nil
 	}
@@ -572,18 +680,29 @@ func intsKey(xs []int) string {
 // runJoinWave executes one depth level of join tasks: sequential cache
 // probes and key resolution, parallel deduplicated hash-table builds,
 // then one combined probe span list, merged per task in span order. A
-// ctx abort returns before any result or hash table reaches the cache.
-func runJoinWave(ctx context.Context, tasks []*batchTask, cache *SkeletonCache, workers int) error {
+// ctx abort returns before any result or hash table reaches any cache.
+func runJoinWave(ctx context.Context, tasks []*batchTask, workers int) error {
 	var pending []*batchTask
 	total := 0
 	for _, t := range tasks {
-		if cache != nil {
-			if sub, ok := cache.getSub(t.ckey); ok {
-				t.sub = sub
+		if sub := t.lookupSub(); sub != nil {
+			t.sub = sub
+			continue
+		}
+		// Resolve the hash-table key per cache: each cache knows the
+		// build side under its own namespace (the right child's key
+		// there), and the first cache holding the table supplies it.
+		for i := range t.crefs {
+			cr := &t.crefs[i]
+			rkey := t.right.keyFor(cr.cache)
+			if rkey == "" {
 				continue
 			}
-			t.tkey = hashTableKey(t.right.sub.sig, t.preds)
-			t.table = cache.getTable(t.tkey)
+			cr.tkey = hashTableKey(rkey, t.preds)
+			cr.table = cr.cache.getTable(cr.tkey)
+			if t.table == nil {
+				t.table = cr.table
+			}
 		}
 		pending = append(pending, t)
 		total += t.left.sub.count
@@ -624,10 +743,13 @@ func runJoinWave(ctx context.Context, tasks []*batchTask, cache *SkeletonCache, 
 	for _, tb := range buildOrder {
 		for _, t := range tb.users {
 			t.table = tb.table
-			if cache != nil {
-				cache.putTable(t.right.sub.sig, t.tkey, tb.table)
-			}
 		}
+	}
+	// Store each task's table — freshly built, or found in only some of
+	// its caches — under every registered cache, so each requester's
+	// cache is as warm as a solo run would have left it.
+	for _, t := range pending {
+		t.storeTable(t.table)
 	}
 
 	// Phase 2: one combined probe span list over every pending task's
@@ -666,11 +788,28 @@ func runJoinWave(ctx context.Context, tasks []*batchTask, cache *SkeletonCache, 
 			}
 			outCols[k] = merged
 		}
-		t.sub = &subResult{sig: t.ckey, count: count, refs: t.refs, cols: outCols}
-		if cache != nil {
-			cache.putSub(t.ckey, t.sub)
-		}
+		t.sub = &subResult{sig: t.primaryKey(), count: count, refs: t.refs, cols: outCols}
+		t.storeSub(t.sub, -1)
 		t.table, t.parts, t.pspans = nil, nil, nil
 	}
 	return nil
+}
+
+// storeTable caches a build-side hash table under every cache the task
+// serves whose namespace resolved (cacheRef.tkey set in the wave's
+// probe stage). putTable skips caches that no longer retain the build
+// input's sub-result (possible under a tight value budget).
+func (t *batchTask) storeTable(table map[uint64][]int32) {
+	if table == nil {
+		return
+	}
+	for i := range t.crefs {
+		cr := &t.crefs[i]
+		if cr.tkey == "" || cr.table != nil {
+			continue
+		}
+		if rkey := t.right.keyFor(cr.cache); rkey != "" {
+			cr.cache.putTable(rkey, cr.tkey, table)
+		}
+	}
 }

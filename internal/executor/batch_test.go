@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -151,6 +152,131 @@ func TestCountSkeletonBatchIsolatesUnsupportedPlans(t *testing.T) {
 		plan.Walk(batch[pi].Root, func(n plan.Node) {
 			if counts[pi][n] != ref[n] {
 				t.Errorf("plan %d node %v: %d != %d", pi, n.Aliases(), counts[pi][n], ref[n])
+			}
+		})
+	}
+}
+
+// TestCountSkeletonBatchPlansPerPlanCaches: plans carrying *different*
+// caches — the cross-query scheduler's shape, each requester holding a
+// private per-run cache — must batch into one deduplicated pass whose
+// counts match solo runs, with every requester's cache left exactly as
+// warm as a solo run would have left it.
+func TestCountSkeletonBatchPlansPerPlanCaches(t *testing.T) {
+	cat := skelCatalog(t, 3, 400)
+	q := skelQuery()
+	plans := skelPlans(cat, q)
+	if len(plans) < 2 {
+		t.Fatal("need at least two plans")
+	}
+
+	want := make([]map[plan.Node]int64, len(plans))
+	for pi, p := range plans {
+		counts, err := CountSkeleton(p, cat.Table, NewSkeletonCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[pi] = counts
+	}
+
+	for _, w := range []int{2, runtime.NumCPU()} {
+		caches := make([]*SkeletonCache, len(plans))
+		bplans := make([]BatchPlan, len(plans))
+		for i, p := range plans {
+			caches[i] = NewSkeletonCache()
+			bplans[i] = BatchPlan{Plan: p, Cache: caches[i]}
+		}
+		got, perPlan, err := CountSkeletonBatchPlansCtx(context.Background(), bplans, cat.Table, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for pi := range plans {
+			if perPlan[pi] != nil {
+				t.Fatalf("workers=%d plan %d: %v", w, pi, perPlan[pi])
+			}
+			plan.Walk(plans[pi].Root, func(n plan.Node) {
+				if got[pi][n] != want[pi][n] {
+					t.Errorf("workers=%d plan %d node %v: batch %d, solo %d",
+						w, pi, n.Aliases(), got[pi][n], want[pi][n])
+				}
+			})
+		}
+		// Every requester's cache must now replay its plan without
+		// recomputation: a solo warm run records only hits, no growth.
+		for pi, p := range plans {
+			solo, err := CountSkeleton(p, cat.Table, NewSkeletonCache())
+			if err != nil {
+				t.Fatal(err)
+			}
+			size := caches[pi].Len()
+			hits0, miss0 := caches[pi].Stats()
+			warm, err := CountSkeleton(p, cat.Table, caches[pi])
+			if err != nil {
+				t.Fatalf("workers=%d plan %d warm replay: %v", w, pi, err)
+			}
+			plan.Walk(p.Root, func(n plan.Node) {
+				if warm[n] != solo[n] {
+					t.Errorf("workers=%d plan %d node %v: warm replay %d, solo %d",
+						w, pi, n.Aliases(), warm[n], solo[n])
+				}
+			})
+			hits1, miss1 := caches[pi].Stats()
+			if hits1 <= hits0 {
+				t.Errorf("workers=%d plan %d: warm replay recorded no hits", w, pi)
+			}
+			if miss1 != miss0 {
+				t.Errorf("workers=%d plan %d: warm replay missed (%d -> %d): cache colder than a solo run",
+					w, pi, miss0, miss1)
+			}
+			if caches[pi].Len() != size {
+				t.Errorf("workers=%d plan %d: warm replay grew the cache %d -> %d", w, pi, size, caches[pi].Len())
+			}
+		}
+	}
+}
+
+// TestCountSkeletonBatchPlansHitPropagation: when one requester's cache
+// already holds a shared subtree, the batch must serve every requester
+// from it — and leave the result in the *other* requesters' caches too,
+// so their next rounds replay instead of recomputing.
+func TestCountSkeletonBatchPlansHitPropagation(t *testing.T) {
+	cat := skelCatalog(t, 9, 400)
+	q := skelQuery()
+	plans := skelPlans(cat, q)
+
+	warmed := NewSkeletonCache()
+	if _, err := CountSkeleton(plans[0], cat.Table, warmed); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewSkeletonCache()
+	bplans := []BatchPlan{
+		{Plan: plans[0], Cache: warmed},
+		{Plan: plans[0], Cache: cold},
+	}
+	_, miss0 := warmed.Stats()
+	got, perPlan, err := CountSkeletonBatchPlansCtx(context.Background(), bplans, cat.Table, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range bplans {
+		if perPlan[pi] != nil {
+			t.Fatalf("plan %d: %v", pi, perPlan[pi])
+		}
+	}
+	if _, miss1 := warmed.Stats(); miss1 != miss0 {
+		t.Errorf("batch missed the warmed cache (%d -> %d misses): shared subtrees recomputed", miss0, miss1)
+	}
+	if cold.Len() != warmed.Len() {
+		t.Errorf("hit propagation left the cold cache at %d entries, warmed has %d", cold.Len(), warmed.Len())
+	}
+	want, err := CountSkeleton(plans[0], cat.Table, NewSkeletonCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range bplans {
+		plan.Walk(plans[0].Root, func(n plan.Node) {
+			if got[pi][n] != want[n] {
+				t.Errorf("plan %d node %v: %d != %d", pi, n.Aliases(), got[pi][n], want[n])
 			}
 		})
 	}

@@ -162,25 +162,71 @@ func EstimatePlansCtx(ctx context.Context, plans []*plan.Plan, cat *catalog.Cata
 	if len(plans) == 0 {
 		return nil, nil
 	}
+	ests, perGroup, err := EstimatePlanGroupsCtx(ctx, []PlanGroup{{Plans: plans, Cache: cache}}, cat, workers)
+	if err != nil {
+		return nil, err
+	}
+	if perGroup[0] != nil {
+		return nil, perGroup[0]
+	}
+	return ests[0], nil
+}
+
+// PlanGroup is one requester's share of a cross-query validation batch:
+// the plans it wants validated and the cache those validations read and
+// charge. Groups of one batch may carry different caches — per-query
+// ValidationCaches, views of one WorkloadCache, or nil — and the batch
+// still deduplicates subtrees across all of them.
+type PlanGroup struct {
+	Plans []*plan.Plan
+	Cache Cache
+}
+
+// EstimatePlanGroupsCtx validates several requesters' plans as ONE
+// skeleton batch: every subtree of every group becomes one deduplicated
+// task, the combined work partitions across the workers, and each
+// computed sub-result is charged back to every group whose cache covers
+// it (see executor.CountSkeletonBatchPlansCtx). Estimates are
+// positional per group and byte-identical to each group validating
+// alone via EstimatePlansCtx against its own cache; the batch's
+// wall-clock cost is amortized equally across all plans, so each
+// group's estimates carry its proportional share. A group whose plan
+// fails estimation (or whose Volcano fallback fails) gets the error in
+// its perGroup slot without dragging down the other groups; batch-level
+// failures — no samples, a cancelled ctx, an engine fault — surface in
+// err with every group unanswered.
+func EstimatePlanGroupsCtx(ctx context.Context, groups []PlanGroup, cat *catalog.Catalog, workers int) (ests [][]*Estimate, perGroup []error, err error) {
+	if len(groups) == 0 {
+		return nil, nil, nil
+	}
 	if !cat.HasSamples() {
-		return nil, fmt.Errorf("sampling: %w", ErrNoSamples)
+		return nil, nil, fmt.Errorf("sampling: %w", ErrNoSamples)
 	}
 	start := time.Now()
-	var skel *executor.SkeletonCache
-	if cache != nil {
-		skel = cache.skeleton(cat)
+	total := 0
+	for _, g := range groups {
+		total += len(g.Plans)
 	}
-	skels := make([]*plan.Plan, len(plans))
-	for i, p := range plans {
-		skels[i] = &plan.Plan{Root: rewrite(p.Root), Query: p.Query}
+	bplans := make([]executor.BatchPlan, 0, total)
+	skels := make([][]*plan.Plan, len(groups))
+	for gi, g := range groups {
+		var skel *executor.SkeletonCache
+		if g.Cache != nil {
+			skel = g.Cache.skeleton(cat)
+		}
+		skels[gi] = make([]*plan.Plan, len(g.Plans))
+		for i, p := range g.Plans {
+			sp := &plan.Plan{Root: rewrite(p.Root), Query: p.Query}
+			skels[gi][i] = sp
+			bplans = append(bplans, executor.BatchPlan{Plan: sp, Cache: skel})
+		}
 	}
-	counts := make([]map[plan.Node]int64, len(plans))
-	perPlan := make([]error, len(plans))
+	counts := make([]map[plan.Node]int64, total)
+	perPlan := make([]error, total)
 	if useFastPath {
-		var err error
-		counts, perPlan, err = executor.CountSkeletonBatchCtx(ctx, skels, cat.Sample, skel, workers)
+		counts, perPlan, err = executor.CountSkeletonBatchPlansCtx(ctx, bplans, cat.Sample, workers)
 		if err != nil {
-			return nil, fmt.Errorf("sampling: batch skeleton run: %w", err)
+			return nil, nil, fmt.Errorf("sampling: batch skeleton run: %w", err)
 		}
 	} else {
 		// Fast path disabled (equivalence tests): every plan takes the
@@ -189,33 +235,48 @@ func EstimatePlansCtx(ctx context.Context, plans []*plan.Plan, cat *catalog.Cata
 			perPlan[i] = executor.ErrSkeletonUnsupported
 		}
 	}
-	ests := make([]*Estimate, len(plans))
-	for i, p := range plans {
-		nodeRows := counts[i]
-		if perPlan[i] != nil {
-			if !errors.Is(perPlan[i], executor.ErrSkeletonUnsupported) {
-				return nil, fmt.Errorf("sampling: batch skeleton run: %w", perPlan[i])
+	ests = make([][]*Estimate, len(groups))
+	perGroup = make([]error, len(groups))
+	pos := 0
+	for gi, g := range groups {
+		ests[gi] = make([]*Estimate, len(g.Plans))
+		for i, p := range g.Plans {
+			nodeRows := counts[pos]
+			if e := perPlan[pos]; e != nil && perGroup[gi] == nil {
+				if !errors.Is(e, executor.ErrSkeletonUnsupported) {
+					perGroup[gi] = fmt.Errorf("sampling: batch skeleton run: %w", e)
+				} else if nodeRows, e = volcanoCounts(ctx, skels[gi][i], cat); e != nil {
+					perGroup[gi] = fmt.Errorf("sampling: skeleton run: %w", e)
+				}
 			}
-			var err error
-			nodeRows, err = volcanoCounts(ctx, skels[i], cat)
-			if err != nil {
-				return nil, fmt.Errorf("sampling: skeleton run: %w", err)
+			if perGroup[gi] != nil {
+				pos++
+				continue
 			}
+			est, eerr := estimateFromCounts(p, skels[gi][i].Root, cat, nodeRows)
+			if eerr != nil {
+				perGroup[gi] = eerr
+			} else {
+				ests[gi][i] = est
+			}
+			pos++
 		}
-		est, err := estimateFromCounts(p, skels[i].Root, cat, nodeRows)
-		if err != nil {
-			return nil, err
+		if perGroup[gi] != nil {
+			ests[gi] = nil
 		}
-		ests[i] = est
 	}
 	// One skeleton batch produced every estimate; report its cost
-	// amortized equally so summing the estimates' Durations still
-	// reflects the total sampling overhead.
-	dur := time.Since(start) / time.Duration(len(plans))
-	for _, e := range ests {
-		e.Duration = dur
+	// amortized equally per plan so summing a group's Durations reflects
+	// its proportional share of the total sampling overhead.
+	dur := time.Since(start) / time.Duration(total)
+	for _, ge := range ests {
+		for _, e := range ge {
+			if e != nil {
+				e.Duration = dur
+			}
+		}
 	}
-	return ests, nil
+	return ests, perGroup, nil
 }
 
 // estimateFromCounts scales a skeleton run's raw sample counts into the

@@ -124,6 +124,9 @@ type (
 	// WorkloadCache reuses validation counts across the queries of a
 	// workload (see ReoptOptions.Cache).
 	WorkloadCache = sampling.WorkloadCache
+	// SchedulerStats reports what a session's workload validation
+	// scheduler coalesced (see WithWorkloadScheduler).
+	SchedulerStats = sampling.SchedulerStats
 	// MidQueryExecutor is the runtime (mid-query) re-optimization
 	// baseline (Kabra-DeWitt / POP style) the paper compares against.
 	MidQueryExecutor = midquery.Executor

@@ -47,6 +47,7 @@ type Session struct {
 	cat     *Catalog
 	opt     *optimizer.Optimizer
 	cache   *sampling.WorkloadCache
+	sched   *sampling.Scheduler
 	workers int
 }
 
@@ -59,6 +60,8 @@ type sessionConfig struct {
 	cacheValues  int
 	wantCache    bool
 	cache        *WorkloadCache
+	wantSched    bool
+	schedWindow  time.Duration
 }
 
 // SessionOption configures Open.
@@ -108,6 +111,29 @@ func WithSharedCacheValues(maxValues int) SessionOption {
 	}
 }
 
+// WithWorkloadScheduler routes every validation the session's
+// re-optimizations issue through a cross-query scheduler: while several
+// queries are in flight — ReoptimizeWorkload workers, or concurrent
+// Reoptimize / ReoptimizeMultiSeed calls — their candidate-plan
+// validations gather into one shared skeleton-batch wave, so subtrees
+// common across the *workload* execute once per wave and the combined
+// work fans out across the session's validation workers. window bounds
+// how long a validation may wait for concurrent queries to contribute
+// theirs (<= 0 selects sampling.DefaultGatherWindow); the wait only
+// applies while another in-flight query is still planning — the moment
+// every in-flight query is blocked on validation the wave flushes, so
+// serial traffic (one query at a time) never waits at all. Per-query
+// results are byte-identical to the unscheduled path at every
+// parallelism, and cancelling one query never aborts or corrupts
+// another's share of a wave. Combine with WithSharedCache to persist
+// the wave results across the whole workload.
+func WithWorkloadScheduler(window time.Duration) SessionOption {
+	return func(c *sessionConfig) {
+		c.schedWindow = window
+		c.wantSched = true
+	}
+}
+
 // WithCache adopts an existing workload cache instead of creating one —
 // for sharing validation counts between sessions (e.g. two sessions
 // planning one catalog under different optimizer configurations), or
@@ -146,6 +172,9 @@ func Open(cat *Catalog, opts ...SessionOption) (*Session, error) {
 	case cfg.wantCache:
 		s.cache = sampling.NewWorkloadCacheBudget(cfg.cacheEntries, cfg.cacheValues)
 	}
+	if cfg.wantSched {
+		s.sched = sampling.NewScheduler(cat, cfg.workers, cfg.schedWindow)
+	}
 	return s, nil
 }
 
@@ -160,6 +189,15 @@ func (s *Session) Optimizer() *Optimizer { return s.opt }
 // CacheStats reports the shared validation cache's subtree lookup hits
 // and misses (zeros when the session has no shared cache).
 func (s *Session) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// SchedulerStats reports what the session's workload validation
+// scheduler has coalesced (zeros when WithWorkloadScheduler is off).
+func (s *Session) SchedulerStats() SchedulerStats {
+	if s.sched == nil {
+		return SchedulerStats{}
+	}
+	return s.sched.Stats()
+}
 
 // Parse parses and resolves a SQL query against the session's catalog.
 func (s *Session) Parse(src string) (*Query, error) { return sql.Parse(src, s.cat) }
@@ -217,6 +255,20 @@ func (s *Session) reoptimizer(opts []ReoptOption) *Reoptimizer {
 	return r
 }
 
+// attachScheduler registers the call as one in-flight query on the
+// session's workload scheduler (when configured) and injects the
+// per-call client as the round loop's validator. The returned release
+// must run when the call finishes: it frees the registration, which can
+// itself flush a wave the remaining in-flight queries are waiting on.
+func (s *Session) attachScheduler(r *Reoptimizer) (release func()) {
+	if s.sched == nil {
+		return func() {}
+	}
+	c := s.sched.Register()
+	r.Opts.Validator = c
+	return c.Close
+}
+
 // Reoptimize runs the paper's Algorithm 1 on q: optimize, validate the
 // plan's join skeleton over the samples, fold the refined cardinalities
 // Γ back, repeat until the plan stops changing. Cancelling ctx aborts
@@ -225,7 +277,10 @@ func (s *Session) reoptimizer(opts []ReoptOption) *Reoptimizer {
 // generated so far when it expires. Results are byte-identical to the
 // legacy Reoptimizer at every worker count and cache configuration.
 func (s *Session) Reoptimize(ctx context.Context, q *Query, opts ...ReoptOption) (*ReoptResult, error) {
-	return s.reoptimizer(opts).ReoptimizeCtx(ctx, q)
+	r := s.reoptimizer(opts)
+	release := s.attachScheduler(r)
+	defer release()
+	return r.ReoptimizeCtx(ctx, q)
 }
 
 // ReoptimizeMultiSeed runs Algorithm 1 from up to seeds distinct
@@ -235,7 +290,10 @@ func (s *Session) Reoptimize(ctx context.Context, q *Query, opts ...ReoptOption)
 // configured — and their round-1 candidates validate as one shared-scan
 // batch. Context semantics match Reoptimize.
 func (s *Session) ReoptimizeMultiSeed(ctx context.Context, q *Query, seeds int, opts ...ReoptOption) (*ReoptResult, error) {
-	return s.reoptimizer(opts).ReoptimizeMultiSeedCtx(ctx, q, seeds)
+	r := s.reoptimizer(opts)
+	release := s.attachScheduler(r)
+	defer release()
+	return r.ReoptimizeMultiSeedCtx(ctx, q, seeds)
 }
 
 // Validate runs the sampling-based estimator over the plans' join
@@ -283,8 +341,10 @@ func (s *Session) MidQuery(ctx context.Context, q *Query) (*MidQueryResult, erro
 // of queries in flight (<= 0 selects GOMAXPROCS); per-query budgets
 // (WithMaxRounds, WithTimeout) apply to each query independently.
 // Queries share the session's cross-query cache when one is configured,
-// so similar instances validate against each other's counts, and every
-// query's result is identical to re-optimizing it sequentially.
+// so similar instances validate against each other's counts, and with
+// WithWorkloadScheduler the in-flight queries' validations coalesce
+// into shared skeleton-batch waves; either way every query's result is
+// identical to re-optimizing it sequentially.
 //
 // Results are positional. The first query error cancels the remaining
 // work and is returned; cancelling ctx cancels every in-flight query

@@ -192,6 +192,100 @@ func TestSessionEpochInvalidation(t *testing.T) {
 	}
 }
 
+// TestSessionSchedulerMixedHammer: one scheduled session serving
+// ReoptimizeWorkload batches and single-query Reoptimize calls at the
+// same time — the production shape for the workload scheduler, and the
+// race-detector gate for its registration/queue/wave machinery. Every
+// result, from either entry point, must equal the sequential baseline.
+func TestSessionSchedulerMixedHammer(t *testing.T) {
+	cat, qs := ottSession(t)
+	ctx := context.Background()
+
+	baseline, err := reopt.Open(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][4]string, len(qs))
+	for i, q := range qs {
+		res, err := baseline.Reoptimize(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resultKey(res)
+	}
+
+	s, err := reopt.Open(cat, reopt.WithWorkloadScheduler(0), reopt.WithSharedCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	mismatches := 0
+	record := func(i int, res *reopt.ReoptResult) {
+		if resultKey(res) != want[i] {
+			mu.Lock()
+			mismatches++
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	// Workload batches through the scheduler...
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 2; pass++ {
+				results, err := s.ReoptimizeWorkload(ctx, qs, 3)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for i, res := range results {
+					record(i, res)
+				}
+			}
+		}()
+	}
+	// ...racing single-query traffic on the same session.
+	singles := runtime.NumCPU()
+	if singles < 2 {
+		singles = 2
+	}
+	for w := 0; w < singles; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				i := (w + pass) % len(qs)
+				res, err := s.Reoptimize(ctx, qs[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				record(i, res)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d mixed scheduled results diverged from the sequential baseline", mismatches)
+	}
+	if stats := s.SchedulerStats(); stats.Coalesced == 0 {
+		t.Logf("note: no coalesced waves this run (%+v)", stats)
+	}
+}
+
 // TestSessionWorkloadConcurrentCancel: cancelling a workload mid-flight
 // returns ctx.Err() promptly and leaves the session (and its cache)
 // serving correct results afterwards.
