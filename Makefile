@@ -18,7 +18,7 @@ BENCH_PKGS = $(shell grep -rl --include='*_test.go' 'func Benchmark' . | xargs -
 # and the committed BENCH_baseline.json regression gate).
 BENCH_HOTPATH_RE = BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel|BenchmarkWorkloadScheduler|BenchmarkExecutorJoinRows
 
-.PHONY: all vet build test race check examples bench bench-smoke bench-hotpath bench-json bench-compare bench-baseline
+.PHONY: all vet build test race check chaos examples bench bench-smoke bench-hotpath bench-json bench-compare bench-baseline
 
 all: check
 
@@ -46,6 +46,18 @@ examples:
 
 # check is the tier-1 gate: vet, build, full test suite.
 check: vet build test
+
+# chaos runs the failure-isolation suite under the race detector at
+# constrained parallelism (the CI shape): the fault-injection harness,
+# the executor/core budget-and-panic tests, and the Session chaos tests
+# — injected panics, starvation memory budgets, admission shedding and
+# close-under-load against one shared Session, with in-test
+# goroutine-leak assertions.
+chaos: vet
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/faultinject
+	GOMAXPROCS=2 $(GO) test -race -count=1 \
+		-run 'TestChaos|TestPanic|TestMemoryBudget|TestMemBudget|TestRunSpans' \
+		. ./internal/executor ./internal/core
 
 # bench-smoke runs every benchmark for a single iteration — a cheap
 # compile-and-execute pass that CI uses to keep the harness green.

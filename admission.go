@@ -1,0 +1,176 @@
+package reopt
+
+// Session-level admission control: a bounded-concurrency, bounded-queue
+// gate in front of the expensive entry points (Reoptimize,
+// ReoptimizeMultiSeed, Validate, and ReoptimizeWorkload's per-query
+// work). A daemon serving many clients needs load to shed at the door —
+// fast, with a distinguishable error — rather than pile up inside the
+// validation engines; and Session.Close needs a single census of
+// in-flight calls to drain. Both live here.
+//
+// Two gates share one lock:
+//
+//   - enter/exit is the light gate: it only counts the call for Close's
+//     drain and rejects calls on a closed session. Execute, MidQuery
+//     and the workload's coordinating call use it — they must respect
+//     Close but are not admission-limited themselves.
+//
+//   - acquire/release is the heavy gate: at most `limit` calls run
+//     concurrently, at most `depth` more wait in FIFO order, and the
+//     next caller past that fails immediately with ErrOverloaded. A
+//     waiter whose ctx is cancelled leaves the queue promptly with
+//     ctx.Err() and never leaks its slot, even when cancellation races
+//     the grant.
+
+import (
+	"context"
+	"sync"
+)
+
+// admission is the session's gate. limit <= 0 disables the heavy gate
+// (unbounded concurrency, nothing ever queues) while the light
+// census — and therefore Close — still works.
+type admission struct {
+	mu       sync.Mutex
+	idle     sync.Cond // signaled when inFlight returns to 0
+	limit    int
+	depth    int
+	closed   bool
+	inFlight int // every admitted call, light and heavy
+	running  int // heavy calls holding a slot
+	waiters  []*admWaiter
+}
+
+// admWaiter is one queued heavy call. ready is buffered so a grant (or
+// a close) never blocks on a waiter that is busy timing out; granted
+// records — under the admission lock — that the slot census was already
+// transferred to this waiter, which is what the cancellation path
+// checks to avoid leaking a permit.
+type admWaiter struct {
+	ready   chan error
+	granted bool
+}
+
+func newAdmission(limit, depth int) *admission {
+	a := &admission{limit: limit, depth: depth}
+	a.idle.L = &a.mu
+	return a
+}
+
+// enter admits a light call: counted for Close's drain, never queued.
+func (a *admission) enter() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrSessionClosed
+	}
+	a.inFlight++
+	return nil
+}
+
+// exit retires a call admitted by enter (or a heavy call's census after
+// its slot was accounted; see release).
+func (a *admission) exit() {
+	a.mu.Lock()
+	a.inFlight--
+	if a.inFlight == 0 {
+		a.idle.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// acquire admits a heavy call: immediately while slots are free, after
+// queueing while the queue has room, and with ErrOverloaded the moment
+// it does not. A ctx cancelled while queued returns ctx.Err() promptly.
+func (a *admission) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrSessionClosed
+	}
+	if a.limit <= 0 {
+		a.inFlight++
+		a.mu.Unlock()
+		return nil
+	}
+	if a.running < a.limit {
+		a.running++
+		a.inFlight++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.waiters) >= a.depth {
+		a.mu.Unlock()
+		return ErrOverloaded
+	}
+	w := &admWaiter{ready: make(chan error, 1)}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		return err
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant won the race: the slot and census are already
+			// ours. Give them back properly instead of leaking a permit.
+			a.mu.Unlock()
+			a.release()
+			return ctx.Err()
+		}
+		for i, q := range a.waiters {
+			if q == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release retires a heavy call. When a waiter is queued, the slot and
+// in-flight census transfer to it wholesale — the counters never dip,
+// so Close cannot slip through a handoff thinking the session is idle.
+func (a *admission) release() {
+	a.mu.Lock()
+	if a.limit <= 0 {
+		a.inFlight--
+		if a.inFlight == 0 {
+			a.idle.Broadcast()
+		}
+		a.mu.Unlock()
+		return
+	}
+	if len(a.waiters) > 0 {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		w.granted = true
+		w.ready <- nil
+		a.mu.Unlock()
+		return
+	}
+	a.running--
+	a.inFlight--
+	if a.inFlight == 0 {
+		a.idle.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// close rejects all future admissions, fails every queued waiter with
+// ErrSessionClosed, and blocks until the in-flight calls drain.
+// Idempotent; concurrent closes all block until idle.
+func (a *admission) close() {
+	a.mu.Lock()
+	a.closed = true
+	for _, w := range a.waiters {
+		w.ready <- ErrSessionClosed
+	}
+	a.waiters = nil
+	for a.inFlight > 0 {
+		a.idle.Wait()
+	}
+	a.mu.Unlock()
+}

@@ -380,7 +380,11 @@ func BenchmarkSessionWorkloadParallel(b *testing.B) {
 	ctx := context.Background()
 	for _, par := range benchParallelisms() {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
-			s, err := reopt.Open(cat, reopt.WithSharedCache(0))
+			// Budget and admission enabled but unconstrained: the gate
+			// and charging overheads must stay inside the regression
+			// envelope even when every call pays them.
+			s, err := reopt.Open(cat, reopt.WithSharedCache(0),
+				reopt.WithMemoryBudget(1<<50), reopt.WithMaxInFlight(1<<20, 1<<20))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -437,7 +441,11 @@ func BenchmarkWorkloadScheduler(b *testing.B) {
 				b.ReportAllocs()
 				var waves, reqs int64
 				for i := 0; i < b.N; i++ {
-					var opts []reopt.SessionOption
+					// Enabled-but-unconstrained failure knobs, as above.
+					opts := []reopt.SessionOption{
+						reopt.WithMemoryBudget(1 << 50),
+						reopt.WithMaxInFlight(1<<20, 1<<20),
+					}
 					if sched {
 						opts = append(opts, reopt.WithWorkloadScheduler(0))
 					}

@@ -1,6 +1,8 @@
 package reopt
 
 import (
+	"errors"
+
 	"reopt/internal/core"
 	"reopt/internal/executor"
 	"reopt/internal/sampling"
@@ -30,4 +32,30 @@ var (
 	// plan exists, budget exhaustion is not an error: the best plan so
 	// far is returned. Wraps context.DeadlineExceeded.
 	ErrBudgetExceeded = core.ErrBudgetExceeded
+
+	// ErrMemoryBudget: a validation materialized more values than the
+	// session's WithMemoryBudget allows. It wraps
+	// context.DeadlineExceeded deliberately, so inside Reoptimize the
+	// breach degrades exactly like a spent time budget — keep the best
+	// validated plan so far, never fail the query; the sentinel
+	// surfaces only from Validate, which has no best-so-far to fall
+	// back on.
+	ErrMemoryBudget = executor.ErrMemoryBudget
+
+	// ErrValidationPanic: a panic inside a validation (executor worker,
+	// batch wave, or scheduler wave) was recovered and contained. The
+	// concrete error is an *executor.PanicError carrying the panic
+	// value and stack; only the query whose subtree panicked sees it —
+	// co-scheduled queries, the wave, and the Session are unaffected.
+	ErrValidationPanic = executor.ErrValidationPanic
+
+	// ErrOverloaded: the session's WithMaxInFlight admission queue was
+	// full, so the call was shed immediately instead of waiting. In
+	// ReoptimizeWorkload a shed query leaves a nil hole with this error
+	// recorded per query; serial traffic is never shed.
+	ErrOverloaded = errors.New("session overloaded: admission queue full")
+
+	// ErrSessionClosed: the call arrived at (or was queued on) a
+	// Session after Close.
+	ErrSessionClosed = errors.New("session closed")
 )

@@ -1,0 +1,84 @@
+package reopt_test
+
+// Examples for the failure-model options: soft memory budgets,
+// admission control, and session shutdown.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"reopt"
+)
+
+// exampleSession builds a small OTT database and one query for the
+// failure-model examples.
+func exampleSession(opts ...reopt.SessionOption) (*reopt.Session, *reopt.Query) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 10})
+	if err != nil {
+		panic(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 3, SameConstant: 2, Count: 1, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s, err := reopt.Open(cat, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s, qs[0]
+}
+
+// A starvation-level memory budget never fails a re-optimization: the
+// breaching validation is abandoned and the best plan so far — here the
+// initial plan, since not even the first round fits — is returned, just
+// as an expired time budget would behave.
+func ExampleWithMemoryBudget() {
+	s, q := exampleSession(reopt.WithMemoryBudget(1))
+	res, err := s.Reoptimize(context.Background(), q)
+	fmt.Println("err:", err)
+	fmt.Println("plan returned:", res.Final != nil)
+	fmt.Println("rounds validated under budget:", res.NumPlans > 1)
+
+	// Validate has no best-so-far plan to degrade to, so there the
+	// breach surfaces as ErrMemoryBudget.
+	p, _ := s.Optimize(q)
+	_, verr := s.Validate(context.Background(), p)
+	fmt.Println("Validate breach:", errors.Is(verr, reopt.ErrMemoryBudget))
+	// Output:
+	// err: <nil>
+	// plan returned: true
+	// rounds validated under budget: false
+	// Validate breach: true
+}
+
+// WithMaxInFlight bounds concurrent expensive calls (here 2) and the
+// queue behind them (here 8); the call that finds the queue full fails
+// fast with ErrOverloaded instead of piling up. Serial traffic — one
+// call at a time — is never queued or shed.
+func ExampleWithMaxInFlight() {
+	s, q := exampleSession(reopt.WithMaxInFlight(2, 8))
+	res, err := s.Reoptimize(context.Background(), q)
+	fmt.Println("err:", err)
+	fmt.Println("plan returned:", res.Final != nil)
+	// Output:
+	// err: <nil>
+	// plan returned: true
+}
+
+// Close drains the session: calls already in flight finish normally,
+// and every later call fails with ErrSessionClosed.
+func ExampleSession_Close() {
+	s, q := exampleSession()
+	res, err := s.Reoptimize(context.Background(), q)
+	fmt.Println("before Close:", err == nil && res.Final != nil)
+
+	s.Close()
+	_, err = s.Reoptimize(context.Background(), q)
+	fmt.Println("after Close:", errors.Is(err, reopt.ErrSessionClosed))
+	// Output:
+	// before Close: true
+	// after Close: true
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestMemBudgetDegradesToBestSoFar: the space budget is the §5.4 time
+// budget's analogue. A budget too small for even the first validation
+// must still return the un-validated initial plan with no error — never
+// a hard failure — and a budget large enough to never trigger must
+// produce results byte-identical to running with no budget at all. The
+// Reoptimizer must stay usable after a breach.
+func TestMemBudgetDegradesToBestSoFar(t *testing.T) {
+	r, qs := ottSetup(t)
+
+	want := make([]string, len(qs))
+	for i, q := range qs {
+		res, err := r.ReoptimizeCtx(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d unbudgeted: %v", i, err)
+		}
+		want[i] = fmt.Sprintf("%s|%d|%v", res.Final.Fingerprint(), res.NumPlans, res.Converged)
+	}
+
+	r.Opts.MemBudget = 1 // breaches on the first materialized value
+	for i, q := range qs {
+		res, err := r.ReoptimizeCtx(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d budget=1: err = %v, want graceful degradation", i, err)
+		}
+		if res.Final == nil {
+			t.Fatalf("query %d budget=1: nil final plan", i)
+		}
+		if res.NumPlans != 1 {
+			t.Errorf("query %d budget=1: NumPlans = %d, want 1 (un-validated initial plan)", i, res.NumPlans)
+		}
+	}
+
+	r.Opts.MemBudget = 1 << 50 // enabled but unconstrained
+	for i, q := range qs {
+		res, err := r.ReoptimizeCtx(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d huge budget: %v", i, err)
+		}
+		got := fmt.Sprintf("%s|%d|%v", res.Final.Fingerprint(), res.NumPlans, res.Converged)
+		if got != want[i] {
+			t.Errorf("query %d: huge budget diverged from unbudgeted run:\n  got  %s\n  want %s", i, got, want[i])
+		}
+	}
+}
+
+// TestMemBudgetMultiSeedDegrades: the multi-seed entry point shares the
+// round loop's budget semantics — a breach degrades, never errors.
+func TestMemBudgetMultiSeedDegrades(t *testing.T) {
+	r, qs := ottSetup(t)
+	r.Opts.MemBudget = 1
+	res, err := r.ReoptimizeMultiSeedCtx(context.Background(), qs[0], 3)
+	if err != nil {
+		t.Fatalf("multi-seed budget=1: err = %v, want graceful degradation", err)
+	}
+	if res.Final == nil {
+		t.Fatal("multi-seed budget=1: nil final plan")
+	}
+}

@@ -22,10 +22,10 @@ func TestMultiSeedHonorsTimeout(t *testing.T) {
 	orig := estimatePlansFn
 	defer func() { estimatePlansFn = orig }()
 	calls := 0
-	estimatePlansFn = func(ctx context.Context, ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, workers int) ([]*sampling.Estimate, error) {
+	estimatePlansFn = func(ctx context.Context, ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, workers int, memBudget int64) ([]*sampling.Estimate, error) {
 		calls++
 		time.Sleep(5 * time.Millisecond)
-		return orig(ctx, ps, c, cache, workers)
+		return orig(ctx, ps, c, cache, workers, memBudget)
 	}
 	r.Opts.Timeout = time.Millisecond
 	res, err := r.ReoptimizeMultiSeed(qs[0], 4)

@@ -84,6 +84,16 @@ type Options struct {
 	// to the direct path (batching and caching may change when counts
 	// are computed, never their values).
 	Validator Validator
+	// MemBudget softly caps the values (materialized boundary-column
+	// cells plus hash-table entries) any single validation may hold; 0
+	// means unlimited. A breach is the space analogue of Timeout: the
+	// offending validation fails with an error wrapping
+	// context.DeadlineExceeded, so the round loop degrades to the best
+	// validated plan so far (§5.4 extended from time to space) instead
+	// of failing the query. Only the direct validation path applies it;
+	// a Validator enforces its own budget (the workload scheduler's
+	// SetMemBudget).
+	MemBudget int64
 }
 
 // Validator abstracts the engine the round loop submits candidate-plan
@@ -423,9 +433,9 @@ func (r *Reoptimizer) validatePlans(ctx context.Context, plans []*plan.Plan, cac
 	if r.Opts.Validator != nil {
 		return r.Opts.Validator.ValidatePlans(ctx, plans, cache)
 	}
-	return estimatePlansFn(ctx, plans, r.Cat, cache, r.Opts.Workers)
+	return estimatePlansFn(ctx, plans, r.Cat, cache, r.Opts.Workers, r.Opts.MemBudget)
 }
 
 // estimatePlansFn indirects the batched sampling estimator for
 // failure-injection and cache-equivalence tests.
-var estimatePlansFn = sampling.EstimatePlansCtx
+var estimatePlansFn = sampling.EstimatePlansBudgetCtx

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"reopt/internal/faultinject"
 	"reopt/internal/plan"
 	"reopt/internal/rel"
 	"reopt/internal/sql"
@@ -98,6 +99,28 @@ type BatchPlan struct {
 // sequential CountSkeleton runs per plan over its own cache, at every
 // worker count and cache mixture.
 func CountSkeletonBatchPlansCtx(ctx context.Context, bplans []BatchPlan, binder func(string) (*storage.Table, error), workers int) (counts []map[plan.Node]int64, perPlan []error, err error) {
+	return CountSkeletonBatchBudgetCtx(ctx, bplans, binder, workers, 0)
+}
+
+// CountSkeletonBatchBudgetCtx is CountSkeletonBatchPlansCtx with
+// failure containment and a per-plan soft memory budget. memBudget (<=
+// 0 unlimited) caps the values EACH submitted plan may materialize; the
+// batch charges every plan for every node of its own tree — shared
+// tasks charge each sharer, and cache hits charge like computed
+// results — so a plan's verdict is identical to a solo
+// CountSkeletonBudgetCtx run. A breaching plan gets ErrMemoryBudget in
+// its perPlan slot; its co-batched plans are unaffected. A panic inside
+// a work unit fails only the plans whose trees contain that unit's
+// task, as a *PanicError in their perPlan slots, while the wave
+// completes for everyone else; panics outside any unit abort the batch
+// via err (never by unwinding into the caller). Failed tasks store
+// nothing in any cache.
+func CountSkeletonBatchBudgetCtx(ctx context.Context, bplans []BatchPlan, binder func(string) (*storage.Table, error), workers int, memBudget int64) (counts []map[plan.Node]int64, perPlan []error, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			counts, perPlan, err = nil, nil, NewPanicError(r)
+		}
+	}()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -110,9 +133,11 @@ func CountSkeletonBatchPlansCtx(ctx context.Context, bplans []BatchPlan, binder 
 		counts = make([]map[plan.Node]int64, len(bplans))
 		perPlan = make([]error, len(bplans))
 		for i, bp := range bplans {
-			c, cerr := CountSkeletonCtx(ctx, bp.Plan, binder, bp.Cache, 1)
+			c, cerr := CountSkeletonBudgetCtx(ctx, bp.Plan, binder, bp.Cache, 1, memBudget)
 			if cerr != nil {
-				if errors.Is(cerr, ErrSkeletonUnsupported) {
+				if errors.Is(cerr, ErrSkeletonUnsupported) ||
+					errors.Is(cerr, ErrMemoryBudget) ||
+					errors.Is(cerr, ErrValidationPanic) {
 					perPlan[i] = cerr
 					continue
 				}
@@ -136,6 +161,23 @@ func CountSkeletonBatchPlansCtx(ctx context.Context, bplans []BatchPlan, binder 
 		nodeTasks[i] = m
 	}
 
+	// Invert node→task into task→plans, with multiplicity: a plan whose
+	// tree contains the same logical subtree twice charges its budget
+	// twice for it, exactly as the single-plan engine would.
+	users := map[*batchTask][]int{}
+	for i := range bplans {
+		if perPlan[i] != nil {
+			continue
+		}
+		for _, t := range nodeTasks[i] {
+			users[t] = append(users[t], i)
+		}
+	}
+	accounts := make([]memAccount, len(bplans))
+	for i := range accounts {
+		accounts[i].budget = memBudget
+	}
+
 	// Group tasks into waves by join depth; creation order within a
 	// wave keeps scheduling and merging deterministic.
 	maxWave := 0
@@ -149,20 +191,42 @@ func CountSkeletonBatchPlansCtx(ctx context.Context, bplans []BatchPlan, binder 
 		waves[t.wave] = append(waves[t.wave], t)
 	}
 	for w, wave := range waves {
-		if len(wave) == 0 {
+		// Drop tasks whose every user plan has already failed (budget
+		// breach, panic, or build-time rejection): a join task is only
+		// live when some user plan survives, and that plan keeps every
+		// child of the join live too (a plan's node set is closed under
+		// subtrees), so live tasks never reference dropped inputs.
+		live := wave[:0:0]
+		for _, t := range wave {
+			for _, pi := range users[t] {
+				if perPlan[pi] == nil {
+					live = append(live, t)
+					break
+				}
+			}
+		}
+		if len(live) == 0 {
 			continue
 		}
 		if err = ctx.Err(); err != nil {
 			return nil, nil, err
 		}
+		if faultinject.Active() {
+			tag := "scan"
+			if w > 0 {
+				tag = fmt.Sprintf("join:%d", w)
+			}
+			faultinject.Fire(faultinject.Wave, tag)
+		}
 		if w == 0 {
-			err = runScanWave(ctx, wave, binder, workers)
+			err = runScanWave(ctx, live, binder, workers)
 		} else {
-			err = runJoinWave(ctx, wave, workers)
+			err = runJoinWave(ctx, live, workers)
 		}
 		if err != nil {
 			return nil, nil, err
 		}
+		settleWave(live, users, accounts, perPlan)
 	}
 
 	counts = make([]map[plan.Node]int64, len(bplans))
@@ -177,6 +241,38 @@ func CountSkeletonBatchPlansCtx(ctx context.Context, bplans []BatchPlan, binder 
 		counts[i] = m
 	}
 	return counts, perPlan, nil
+}
+
+// settleWave attributes a completed wave's outcomes to the submitted
+// plans: a failed task delivers its captured panic to every plan whose
+// tree contains it, and every completed task charges each of its user
+// plans' memory accounts (per occurrence in that plan's tree). Plans
+// already failed neither charge nor re-fail. Charges are non-negative
+// and the breach verdict is "total exceeds budget", so settling after
+// the wave is equivalent to the single-plan engine's charge-as-you-go.
+func settleWave(wave []*batchTask, users map[*batchTask][]int, accounts []memAccount, perPlan []error) {
+	for _, t := range wave {
+		if cp := t.failedPanic(); cp != nil {
+			for _, pi := range users[t] {
+				if perPlan[pi] == nil {
+					perPlan[pi] = NewPanicError(cp)
+				}
+			}
+			continue
+		}
+		charge := subCharge(t.sub)
+		if t.join != nil {
+			charge += int64(t.right.sub.count) // hash-table entries
+		}
+		for _, pi := range users[t] {
+			if perPlan[pi] != nil {
+				continue
+			}
+			if accounts[pi].charge(charge) {
+				perPlan[pi] = ErrMemoryBudget
+			}
+		}
+	}
 }
 
 // cacheRef is one requester cache a task serves: the (prefix-qualified)
@@ -216,6 +312,11 @@ type batchTask struct {
 	gather    []gatherSrc
 
 	sub *subResult // the result, once the task's wave has run
+
+	// failed is set (first capture wins) when a work unit serving this
+	// task panics; the task then computes no sub-result, stores nothing,
+	// and settleWave fails every plan whose tree contains it.
+	failed atomic.Pointer[capturedPanic]
 
 	// Wave-execution scratch, released in the wave's final stage.
 	cs     *storage.ColStore
@@ -301,6 +402,17 @@ func (t *batchTask) storeSub(sub *subResult, skip int) {
 		}
 		cr.cache.putSub(cr.key, s)
 	}
+}
+
+// failWith records a captured panic on the task; the first capture
+// wins when several spans of one task fail concurrently.
+func (t *batchTask) failWith(cp *capturedPanic) {
+	t.failed.CompareAndSwap(nil, cp)
+}
+
+// failedPanic returns the task's captured panic, if any.
+func (t *batchTask) failedPanic() *capturedPanic {
+	return t.failed.Load()
 }
 
 // probePart is one span's private probe output.
@@ -449,13 +561,34 @@ func chunkSpans(n, chunk int) []span {
 	return out
 }
 
+// workUnit is one span-sized piece of a wave phase: the work itself
+// plus where a panic inside it is attributed. fail must be safe to call
+// from any worker goroutine (it CASes a task's failure slot); a failed
+// unit counts as complete, so the phase still finishes for every other
+// unit and the pool never unwinds.
+type workUnit struct {
+	run  func()
+	fail func(*capturedPanic)
+}
+
+// exec runs the unit, converting a panic into its failure attribution.
+func (u workUnit) exec() {
+	defer func() {
+		if r := recover(); r != nil {
+			u.fail(capturePanic(r))
+		}
+	}()
+	u.run()
+}
+
 // runPool drains units across up to workers goroutines. Units must
 // write disjoint state; completion order is irrelevant to the result.
 // A cancelled ctx stops workers from claiming further units (in-flight
 // units finish — they are span-sized, so the abort latency is bounded)
 // and runPool returns ctx.Err(); the caller must then discard the
-// phase's partial outputs instead of finalizing them.
-func runPool(ctx context.Context, workers int, units []func()) error {
+// phase's partial outputs instead of finalizing them. A unit that
+// panics fails only its own task (workUnit.exec); the pool completes.
+func runPool(ctx context.Context, workers int, units []workUnit) error {
 	if len(units) == 0 {
 		return nil
 	}
@@ -471,7 +604,7 @@ func runPool(ctx context.Context, workers int, units []func()) error {
 					return err
 				}
 			}
-			u()
+			u.exec()
 		}
 		return ctx.Err()
 	}
@@ -490,7 +623,7 @@ func runPool(ctx context.Context, workers int, units []func()) error {
 				if i >= len(units) || ctx.Err() != nil {
 					return
 				}
-				units[i]()
+				units[i].exec()
 			}
 		}()
 	}
@@ -549,7 +682,7 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 	// Phase 1: filter passes over every task's rows, one combined span
 	// list. Identity scans (no filters) fill their selection vector
 	// directly. Per-span counts feed the offsets below.
-	var units []func()
+	var units []workUnit
 	for _, t := range pending {
 		t := t
 		t.spans = chunkSpans(t.nrows, chunk)
@@ -561,7 +694,10 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 			t.cnts = make([]int, len(t.spans))
 			for si := range t.spans {
 				si := si
-				units = append(units, func() {
+				units = append(units, workUnit{fail: t.failWith, run: func() {
+					if faultinject.Active() {
+						faultinject.Fire(faultinject.ScanUnit, t.sig)
+					}
 					s := t.spans[si]
 					t.passes[0](t.bm, s.lo, s.hi)
 					for _, pass := range t.passes[1:] {
@@ -569,18 +705,21 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 						t.bm.And(t.fb, s.lo, s.hi)
 					}
 					t.cnts[si] = t.bm.Count(s.lo, s.hi)
-				})
+				}})
 			}
 		} else {
 			t.sel = make([]int32, t.nrows)
 			for si := range t.spans {
 				si := si
-				units = append(units, func() {
+				units = append(units, workUnit{fail: t.failWith, run: func() {
+					if faultinject.Active() {
+						faultinject.Fire(faultinject.ScanUnit, t.sig)
+					}
 					s := t.spans[si]
 					for i := s.lo; i < s.hi; i++ {
 						t.sel[i] = int32(i)
 					}
-				})
+				}})
 			}
 		}
 	}
@@ -590,10 +729,11 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 
 	// Phase 2: materialize surviving row ids, spans writing disjoint
 	// ranges at precomputed offsets so the result is in ascending row
-	// order regardless of completion order.
+	// order regardless of completion order. Tasks failed in phase 1 are
+	// skipped: their bitmaps may be partial.
 	units = units[:0]
 	for _, t := range pending {
-		if len(t.passes) == 0 {
+		if len(t.passes) == 0 || t.failedPanic() != nil {
 			continue
 		}
 		t := t
@@ -609,10 +749,10 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 				continue
 			}
 			si, off, cnt := si, offs[si], t.cnts[si]
-			units = append(units, func() {
+			units = append(units, workUnit{fail: t.failWith, run: func() {
 				s := t.spans[si]
 				t.bm.AppendIndices(t.sel[off:off:off+cnt], s.lo, s.hi)
-			})
+			}})
 		}
 	}
 	if err := runPool(ctx, workers, units); err != nil {
@@ -622,6 +762,9 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 	// Phase 3: gather boundary columns for the surviving rows.
 	units = units[:0]
 	for _, t := range pending {
+		if t.failedPanic() != nil {
+			continue
+		}
 		t := t
 		t.cols = make([][]rel.Value, len(t.refs))
 		for k := range t.refs {
@@ -632,9 +775,9 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 		}
 		for _, s := range chunkSpans(len(t.sel), chunk) {
 			s := s
-			units = append(units, func() {
+			units = append(units, workUnit{fail: t.failWith, run: func() {
 				gatherCols(t.cs, t.boundPos, t.cols, t.sel, s.lo, s.hi)
-			})
+			}})
 		}
 	}
 	if err := runPool(ctx, workers, units); err != nil {
@@ -642,6 +785,13 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 	}
 
 	for _, t := range pending {
+		if t.failedPanic() != nil {
+			// A failed task computes no sub-result and must not poison
+			// any cache; settleWave attributes the failure to its plans.
+			t.cs, t.passes, t.bm, t.fb = nil, nil, nil, nil
+			t.spans, t.cnts, t.sel, t.cols = nil, nil, nil, nil
+			continue
+		}
 		t.sub = &subResult{sig: t.primaryKey(), count: len(t.sel), refs: t.refs, cols: t.cols}
 		t.storeSub(t.sub, -1)
 		t.cs, t.passes, t.bm, t.fb = nil, nil, nil, nil
@@ -730,12 +880,22 @@ func runJoinWave(ctx context.Context, tasks []*batchTask, workers int) error {
 		}
 		tb.users = append(tb.users, t)
 	}
-	units := make([]func(), 0, len(buildOrder))
+	units := make([]workUnit, 0, len(buildOrder))
 	for _, tb := range buildOrder {
 		tb := tb
-		units = append(units, func() {
+		// A failed build fails every task awaiting the table: they have
+		// nothing to probe.
+		fail := func(cp *capturedPanic) {
+			for _, t := range tb.users {
+				t.failWith(cp)
+			}
+		}
+		units = append(units, workUnit{fail: fail, run: func() {
+			if faultinject.Active() {
+				faultinject.Fire(faultinject.BuildUnit, tb.users[0].sig)
+			}
 			tb.table = buildHashTable(tb.r, tb.rkey)
-		})
+		}})
 	}
 	if err := runPool(ctx, workers, units); err != nil {
 		return err
@@ -753,21 +913,28 @@ func runJoinWave(ctx context.Context, tasks []*batchTask, workers int) error {
 	}
 
 	// Phase 2: one combined probe span list over every pending task's
-	// left rows; each span fills a private part.
+	// left rows; each span fills a private part. Tasks whose build
+	// failed are skipped — there is no table to probe.
 	units = units[:0]
 	for _, t := range pending {
+		if t.failedPanic() != nil {
+			continue
+		}
 		t := t
 		t.pspans = chunkSpans(t.left.sub.count, chunk)
 		t.parts = make([]probePart, len(t.pspans))
 		for si := range t.pspans {
 			si := si
-			units = append(units, func() {
+			units = append(units, workUnit{fail: t.failWith, run: func() {
+				if faultinject.Active() {
+					faultinject.Fire(faultinject.ProbeUnit, t.sig)
+				}
 				s := t.pspans[si]
 				part := &t.parts[si]
 				part.cols = make([][]rel.Value, len(t.gather))
 				part.count = probeRange(t.left.sub, t.right.sub, t.table,
 					t.lkey, t.rkey, t.gather, part.cols, s.lo, s.hi)
-			})
+			}})
 		}
 	}
 	if err := runPool(ctx, workers, units); err != nil {
@@ -776,6 +943,10 @@ func runJoinWave(ctx context.Context, tasks []*batchTask, workers int) error {
 
 	// Merge in span order: identical to a sequential probe.
 	for _, t := range pending {
+		if t.failedPanic() != nil {
+			t.table, t.parts, t.pspans = nil, nil, nil
+			continue
+		}
 		count := 0
 		for pi := range t.parts {
 			count += t.parts[pi].count

@@ -1,0 +1,260 @@
+package executor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"reopt/internal/catalog"
+	"reopt/internal/faultinject"
+	"reopt/internal/plan"
+	"reopt/internal/rel"
+	"reopt/internal/sql"
+)
+
+// skelQueryFiltered is skelQuery with a distinguishable t1 filter
+// constant, so two logically different queries produce disjoint task
+// sets in one batch.
+func skelQueryFiltered(limit int64) *sql.Query {
+	q := skelQuery()
+	q.Selections[0].Value = rel.Int(limit)
+	return q
+}
+
+// planFor builds the left-deep (t1 ⋈ t2) ⋈ t3 plan for q.
+func planFor(cat *catalog.Catalog, q *sql.Query) *plan.Plan {
+	root := skelJoin(q, skelJoin(q, skelScan(cat, q, "t1"), skelScan(cat, q, "t2")), skelScan(cat, q, "t3"))
+	return &plan.Plan{Root: root, Query: q}
+}
+
+// TestMemoryBudgetVerdictEquivalence: for one plan, the breach verdict
+// at a given budget must be identical across the single-plan engine,
+// the batch engine at every worker count, warm and cold caches — and a
+// passing budget must return counts byte-identical to the unlimited
+// run.
+func TestMemoryBudgetVerdictEquivalence(t *testing.T) {
+	cat := skelCatalog(t, 7, 400)
+	q := skelQuery()
+	p := skelPlans(cat, q)[0]
+	ctx := context.Background()
+
+	want, err := CountSkeletonCtx(ctx, p, cat.Table, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{1, 100, 1000, 10_000, 1 << 40} {
+		soloCold, soloErr := CountSkeletonBudgetCtx(ctx, p, cat.Table, nil, 2, budget)
+		warm := NewSkeletonCache()
+		if _, err := CountSkeletonCtx(ctx, p, cat.Table, warm, 2); err != nil {
+			t.Fatal(err)
+		}
+		_, warmErr := CountSkeletonBudgetCtx(ctx, p, cat.Table, warm, 2, budget)
+		if errors.Is(soloErr, ErrMemoryBudget) != errors.Is(warmErr, ErrMemoryBudget) {
+			t.Fatalf("budget %d: cold verdict %v, warm verdict %v", budget, soloErr, warmErr)
+		}
+		for _, workers := range []int{1, 4} {
+			_, perPlan, berr := CountSkeletonBatchBudgetCtx(ctx,
+				[]BatchPlan{{Plan: p}}, cat.Table, workers, budget)
+			if berr != nil {
+				t.Fatalf("budget %d workers %d: batch error %v", budget, workers, berr)
+			}
+			if errors.Is(soloErr, ErrMemoryBudget) != errors.Is(perPlan[0], ErrMemoryBudget) {
+				t.Fatalf("budget %d workers %d: solo verdict %v, batch verdict %v",
+					budget, workers, soloErr, perPlan[0])
+			}
+		}
+		if soloErr == nil {
+			if len(soloCold) != len(want) {
+				t.Fatalf("budget %d: %d counts, want %d", budget, len(soloCold), len(want))
+			}
+			for n, c := range want {
+				if soloCold[n] != c {
+					t.Fatalf("budget %d: node count %d, want %d", budget, soloCold[n], c)
+				}
+			}
+		}
+	}
+	// Sanity: the extremes behave as extremes.
+	if _, err := CountSkeletonBudgetCtx(ctx, p, cat.Table, nil, 2, 1); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("budget 1: err = %v, want ErrMemoryBudget", err)
+	}
+	if !errors.Is(ErrMemoryBudget, context.DeadlineExceeded) {
+		t.Fatal("ErrMemoryBudget must wrap context.DeadlineExceeded for §5.4 degradation")
+	}
+}
+
+// TestMemoryBudgetIsolatedPerPlan: in one batch, a budget only the
+// smaller query fits must fail exactly the larger one, leave the
+// smaller one's counts byte-identical to its solo run, and poison no
+// cache for later unbudgeted runs.
+func TestMemoryBudgetIsolatedPerPlan(t *testing.T) {
+	cat := skelCatalog(t, 11, 400)
+	qSmall := skelQueryFiltered(5) // tight filter: tiny materializations
+	qBig := skelQueryFiltered(95)  // loose filter: large materializations
+	pSmall, pBig := planFor(cat, qSmall), planFor(cat, qBig)
+	ctx := context.Background()
+
+	wantSmall, err := CountSkeletonCtx(ctx, pSmall, cat.Table, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a budget the small plan fits and the big plan breaches.
+	var budget int64
+	for b := int64(2); b < 1<<40; b *= 2 {
+		_, errS := CountSkeletonBudgetCtx(ctx, pSmall, cat.Table, nil, 2, b)
+		_, errB := CountSkeletonBudgetCtx(ctx, pBig, cat.Table, nil, 2, b)
+		if errS == nil && errors.Is(errB, ErrMemoryBudget) {
+			budget = b
+			break
+		}
+	}
+	if budget == 0 {
+		t.Fatal("no budget separates the two plans; test data broken")
+	}
+	cache := NewSkeletonCache()
+	counts, perPlan, err := CountSkeletonBatchBudgetCtx(ctx,
+		[]BatchPlan{{Plan: pBig, Cache: cache}, {Plan: pSmall, Cache: cache}}, cat.Table, 4, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(perPlan[0], ErrMemoryBudget) {
+		t.Fatalf("big plan: err = %v, want ErrMemoryBudget", perPlan[0])
+	}
+	if perPlan[1] != nil {
+		t.Fatalf("small plan: err = %v, want nil", perPlan[1])
+	}
+	for n, c := range wantSmall {
+		if counts[1][n] != c {
+			t.Fatalf("small plan count diverged next to a breaching peer: %d != %d", counts[1][n], c)
+		}
+	}
+	// The cache the breaching plan validated through must still serve a
+	// later unbudgeted run correctly.
+	countsBig, err := CountSkeletonCtx(ctx, pBig, cat.Table, cache, 2)
+	if err != nil {
+		t.Fatalf("post-breach run over same cache: %v", err)
+	}
+	wantBig, err := CountSkeletonCtx(ctx, pBig, cat.Table, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, c := range wantBig {
+		if countsBig[n] != c {
+			t.Fatalf("cache poisoned by breaching plan: %d != %d", countsBig[n], c)
+		}
+	}
+}
+
+// TestPanicContainedSinglePlan: a panic injected at a node boundary
+// surfaces as *PanicError (matching ErrValidationPanic) with the stack
+// attached, instead of unwinding into the caller.
+func TestPanicContainedSinglePlan(t *testing.T) {
+	cat := skelCatalog(t, 3, 400)
+	p := skelPlans(cat, skelQuery())[0]
+	var fi faultinject.Set
+	fi.PanicAt(faultinject.SkelNode, "T:t2=t2")
+	defer fi.Activate()()
+
+	_, err := CountSkeletonBudgetCtx(context.Background(), p, cat.Table, nil, 2, 0)
+	if !errors.Is(err, ErrValidationPanic) {
+		t.Fatalf("err = %v, want ErrValidationPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T does not unwrap to *PanicError", err)
+	}
+	if _, ok := pe.Value.(faultinject.Injected); !ok {
+		t.Fatalf("panic value = %#v, want faultinject.Injected", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+}
+
+// TestPanicIsolatedPerPlanInBatch: a panic injected into a work unit
+// unique to one query fails only that query's plan; the co-batched
+// plan's counts stay byte-identical to its solo run and the shared
+// cache stays clean for a rerun of the failed plan.
+func TestPanicIsolatedPerPlanInBatch(t *testing.T) {
+	cat := skelCatalog(t, 5, 400)
+	qOK := skelQueryFiltered(50)
+	qBad := skelQueryFiltered(51)
+	pOK, pBad := planFor(cat, qOK), planFor(cat, qBad)
+	ctx := context.Background()
+
+	wantOK, err := CountSkeletonCtx(ctx, pOK, cat.Table, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBad, err := CountSkeletonCtx(ctx, pBad, cat.Table, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewSkeletonCache()
+	func() {
+		var fi faultinject.Set
+		// "t1.v < 51" appears only in qBad's t1 scan signature.
+		fi.PanicAt(faultinject.ScanUnit, "t1.v < 51")
+		defer fi.Activate()()
+		counts, perPlan, berr := CountSkeletonBatchBudgetCtx(ctx,
+			[]BatchPlan{{Plan: pOK, Cache: cache}, {Plan: pBad, Cache: cache}}, cat.Table, 4, 0)
+		if berr != nil {
+			t.Fatalf("batch error %v, want per-plan isolation", berr)
+		}
+		if perPlan[0] != nil {
+			t.Fatalf("healthy plan: err = %v, want nil", perPlan[0])
+		}
+		if !errors.Is(perPlan[1], ErrValidationPanic) {
+			t.Fatalf("injected plan: err = %v, want ErrValidationPanic", perPlan[1])
+		}
+		for n, c := range wantOK {
+			if counts[0][n] != c {
+				t.Fatalf("healthy plan count diverged next to a panicking peer: %d != %d", counts[0][n], c)
+			}
+		}
+	}()
+
+	// With the injection gone, the same cache must serve both plans.
+	counts, perPlan, err := CountSkeletonBatchBudgetCtx(ctx,
+		[]BatchPlan{{Plan: pOK, Cache: cache}, {Plan: pBad, Cache: cache}}, cat.Table, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []map[plan.Node]int64{wantOK, wantBad} {
+		if perPlan[i] != nil {
+			t.Fatalf("rerun plan %d: %v", i, perPlan[i])
+		}
+		for n, c := range want {
+			if counts[i][n] != c {
+				t.Fatalf("rerun plan %d: count %d, want %d (cache poisoned?)", i, counts[i][n], c)
+			}
+		}
+	}
+}
+
+// TestRunSpansPropagatesWorkerPanic: a panic on a span goroutine must
+// resurface on the calling goroutine as a capturedPanic carrying the
+// worker's stack (the engine boundary then converts it).
+func TestRunSpansPropagatesWorkerPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		cp, ok := r.(*capturedPanic)
+		if !ok {
+			t.Fatalf("recovered %#v, want *capturedPanic", r)
+		}
+		if fmt.Sprint(cp.val) != "boom" {
+			t.Fatalf("panic value = %v, want boom", cp.val)
+		}
+		if len(cp.stack) == 0 {
+			t.Fatal("captured panic has no stack")
+		}
+	}()
+	runSpans([]span{{0, 10}, {10, 20}, {20, 30}}, func(p int, s span) {
+		if p == 1 {
+			panic("boom")
+		}
+	})
+	t.Fatal("runSpans returned without re-panicking")
+}

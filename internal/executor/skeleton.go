@@ -42,7 +42,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"reopt/internal/faultinject"
 	"reopt/internal/plan"
 	"reopt/internal/rel"
 	"reopt/internal/sql"
@@ -103,6 +105,23 @@ func CountSkeletonWorkers(p *plan.Plan, binder func(string) (*storage.Table, err
 // ever written to the cache, so an abort never leaves partial results
 // behind; uncancelled runs are byte-identical to CountSkeletonWorkers.
 func CountSkeletonCtx(ctx context.Context, p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int) (map[plan.Node]int64, error) {
+	return CountSkeletonBudgetCtx(ctx, p, binder, cache, workers, 0)
+}
+
+// CountSkeletonBudgetCtx is CountSkeletonCtx with failure containment
+// and a soft memory budget. memBudget caps the values this one plan may
+// materialize (boundary-column cells plus hash-table entries, cache
+// hits included — see memAccount); <= 0 means unlimited. On breach the
+// run aborts with ErrMemoryBudget; nothing partial is cached. A panic
+// anywhere inside evaluation — worker goroutines included — is
+// recovered here and returned as a *PanicError instead of unwinding
+// into the caller.
+func CountSkeletonBudgetCtx(ctx context.Context, p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int, memBudget int64) (counts map[plan.Node]int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			counts, err = nil, NewPanicError(r)
+		}
+	}()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -114,6 +133,7 @@ func CountSkeletonCtx(ctx context.Context, p *plan.Plan, binder func(string) (*s
 		workers:  workers,
 		minChunk: minChunkRows,
 		counts:   make(map[plan.Node]int64),
+		mem:      memAccount{budget: memBudget},
 	}
 	if _, err := e.eval(p.Root); err != nil {
 		return nil, err
@@ -134,6 +154,7 @@ type skelEngine struct {
 	// samples too small to fan out alone still do inside a batch.
 	minChunk int
 	counts   map[plan.Node]int64
+	mem      memAccount
 
 	// Scratch reused across the nodes of one CountSkeleton call. Nodes
 	// evaluate strictly one at a time (parallelism lives *inside* a
@@ -193,6 +214,9 @@ func (e *skelEngine) eval(n plan.Node) (*subResult, error) {
 		if err := e.ctx.Err(); err != nil {
 			return nil, err
 		}
+	}
+	if faultinject.Active() {
+		faultinject.Fire(faultinject.SkelNode, subtreeSig(n))
 	}
 	var sub *subResult
 	var err error
@@ -340,21 +364,34 @@ func (e *skelEngine) wordSpans(n int) []span {
 }
 
 // runSpans executes fn over every span, inline for a single span and on
-// one goroutine per span otherwise.
+// one goroutine per span otherwise. A panic on any span goroutine is
+// captured with its stack, the remaining spans are allowed to finish
+// (they share output buffers with the caller, so they must not be
+// abandoned mid-write), and the first capture is re-panicked on the
+// calling goroutine for the engine-boundary recover to convert.
 func runSpans(spans []span, fn func(part int, s span)) {
 	if len(spans) == 1 {
 		fn(0, spans[0])
 		return
 	}
 	var wg sync.WaitGroup
+	var pan atomic.Pointer[capturedPanic]
 	wg.Add(len(spans))
 	for p := range spans {
 		go func(p int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					pan.CompareAndSwap(nil, capturePanic(r))
+				}
+			}()
 			fn(p, spans[p])
 		}(p)
 	}
 	wg.Wait()
+	if cp := pan.Load(); cp != nil {
+		panic(cp)
+	}
 }
 
 // --- Leaf scans ---
@@ -365,6 +402,11 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 	if e.cache != nil {
 		key = e.cache.subKey(subtreeSig(t), refs)
 		if sub, ok := e.cache.getSub(key); ok {
+			// Budget accounting is cache-independent: a hit charges what
+			// computing the sub-result would have.
+			if e.mem.charge(subCharge(sub)) {
+				return nil, ErrMemoryBudget
+			}
 			return sub, nil
 		}
 	}
@@ -401,6 +443,9 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 	}
 
 	sel := e.selectRows(passes, n)
+	if e.mem.charge(int64(len(sel)) * int64(len(refs))) {
+		return nil, ErrMemoryBudget
+	}
 
 	// Gather the boundary columns for the surviving rows, partitioned
 	// over the selection vector (each worker writes a disjoint range of
@@ -680,6 +725,12 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 	if e.cache != nil {
 		key = e.cache.subKey(subtreeSig(t), outRefs)
 		if sub, ok := e.cache.getSub(key); ok {
+			// Charge what computing this join would have: its hash-table
+			// entries (one per right row) plus its output cells, keeping
+			// budget verdicts independent of cache state.
+			if e.mem.charge(int64(r.count) + subCharge(sub)) {
+				return nil, ErrMemoryBudget
+			}
 			return sub, nil
 		}
 	}
@@ -690,6 +741,10 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 	preds, lkey, rkey, err := joinKeys(t.Preds, l.refs, r.refs)
 	if err != nil {
 		return nil, err
+	}
+
+	if e.mem.charge(int64(r.count)) {
+		return nil, ErrMemoryBudget
 	}
 
 	// Build (or reuse) the hash table over the right side's key columns.
@@ -750,6 +805,12 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 		}
 	}
 	sub := &subResult{sig: key, count: count, refs: outRefs, cols: outCols}
+	if e.mem.charge(subCharge(sub)) {
+		// The sub-result is fully computed and correct, so caching it
+		// would be sound — but the budget contract is "a breaching plan
+		// stores nothing", which keeps verdicts reproducible on retry.
+		return nil, ErrMemoryBudget
+	}
 	if e.cache != nil {
 		e.cache.putSub(key, sub)
 	}

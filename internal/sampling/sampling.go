@@ -16,6 +16,7 @@ import (
 
 	"reopt/internal/catalog"
 	"reopt/internal/executor"
+	"reopt/internal/faultinject"
 	"reopt/internal/optimizer"
 	"reopt/internal/plan"
 )
@@ -159,10 +160,21 @@ func EstimatePlans(plans []*plan.Plan, cat *catalog.Catalog, cache Cache, worker
 // ctx.Err() mid-validation. Completed subtrees cached before the abort
 // are valid and stay cached; nothing partial is ever stored.
 func EstimatePlansCtx(ctx context.Context, plans []*plan.Plan, cat *catalog.Catalog, cache Cache, workers int) ([]*Estimate, error) {
+	return EstimatePlansBudgetCtx(ctx, plans, cat, cache, workers, 0)
+}
+
+// EstimatePlansBudgetCtx is EstimatePlansCtx with a soft memory budget:
+// memBudget (<= 0 unlimited) caps the values each plan's validation may
+// materialize; a breaching plan fails the call with an error matching
+// executor.ErrMemoryBudget (which wraps context.DeadlineExceeded, so
+// budget-aware callers degrade it like a deadline). A panic inside
+// validation surfaces as an error matching executor.ErrValidationPanic
+// instead of unwinding.
+func EstimatePlansBudgetCtx(ctx context.Context, plans []*plan.Plan, cat *catalog.Catalog, cache Cache, workers int, memBudget int64) ([]*Estimate, error) {
 	if len(plans) == 0 {
 		return nil, nil
 	}
-	ests, perGroup, err := EstimatePlanGroupsCtx(ctx, []PlanGroup{{Plans: plans, Cache: cache}}, cat, workers)
+	ests, perGroup, err := EstimatePlanGroupsBudgetCtx(ctx, []PlanGroup{{Plans: plans, Cache: cache}}, cat, workers, memBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -196,8 +208,22 @@ type PlanGroup struct {
 // failures — no samples, a cancelled ctx, an engine fault — surface in
 // err with every group unanswered.
 func EstimatePlanGroupsCtx(ctx context.Context, groups []PlanGroup, cat *catalog.Catalog, workers int) (ests [][]*Estimate, perGroup []error, err error) {
+	return EstimatePlanGroupsBudgetCtx(ctx, groups, cat, workers, 0)
+}
+
+// EstimatePlanGroupsBudgetCtx is EstimatePlanGroupsCtx with a per-plan
+// soft memory budget (memBudget <= 0 means unlimited) and panic
+// containment. A group whose plan breaches the budget or panics gets
+// the failure in its perGroup slot — matching executor.ErrMemoryBudget
+// or executor.ErrValidationPanic respectively — while co-batched groups
+// are unaffected; the failing group's cache is left unpoisoned (failed
+// work stores nothing, completed shared subtrees remain valid).
+func EstimatePlanGroupsBudgetCtx(ctx context.Context, groups []PlanGroup, cat *catalog.Catalog, workers int, memBudget int64) (ests [][]*Estimate, perGroup []error, err error) {
 	if len(groups) == 0 {
 		return nil, nil, nil
+	}
+	if faultinject.Active() {
+		faultinject.Fire(faultinject.Estimate, fmt.Sprintf("groups=%d", len(groups)))
 	}
 	if !cat.HasSamples() {
 		return nil, nil, fmt.Errorf("sampling: %w", ErrNoSamples)
@@ -224,7 +250,7 @@ func EstimatePlanGroupsCtx(ctx context.Context, groups []PlanGroup, cat *catalog
 	counts := make([]map[plan.Node]int64, total)
 	perPlan := make([]error, total)
 	if useFastPath {
-		counts, perPlan, err = executor.CountSkeletonBatchPlansCtx(ctx, bplans, cat.Sample, workers)
+		counts, perPlan, err = executor.CountSkeletonBatchBudgetCtx(ctx, bplans, cat.Sample, workers, memBudget)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sampling: batch skeleton run: %w", err)
 		}

@@ -43,11 +43,14 @@ package sampling
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"reopt/internal/catalog"
+	"reopt/internal/executor"
+	"reopt/internal/faultinject"
 	"reopt/internal/plan"
 )
 
@@ -63,9 +66,10 @@ const DefaultGatherWindow = 200 * time.Microsecond
 // re-optimizing queries into shared skeleton-batch waves. Create one
 // per Session with NewScheduler; it is safe for concurrent use.
 type Scheduler struct {
-	cat     *catalog.Catalog
-	workers int
-	window  time.Duration
+	cat       *catalog.Catalog
+	workers   int
+	window    time.Duration
+	memBudget atomic.Int64 // per-plan value budget for waves; 0 = unlimited
 
 	mu     sync.Mutex
 	active int // registered in-flight queries
@@ -86,6 +90,16 @@ func NewScheduler(cat *catalog.Catalog, workers int, window time.Duration) *Sche
 		window = DefaultGatherWindow
 	}
 	return &Scheduler{cat: cat, workers: workers, window: window}
+}
+
+// SetMemBudget caps the values any single plan validated through the
+// scheduler may materialize (boundary-column cells plus hash-table
+// entries); values <= 0 means unlimited. A breaching plan's requester
+// gets an error matching executor.ErrMemoryBudget; co-scheduled
+// requesters in the same wave are unaffected. Safe to call while waves
+// are in flight (new waves pick up the new budget).
+func (s *Scheduler) SetMemBudget(values int64) {
+	s.memBudget.Store(values)
 }
 
 // SchedulerStats reports what the scheduler has coalesced so far.
@@ -177,7 +191,7 @@ func (c *SchedulerClient) ValidatePlans(ctx context.Context, plans []*plan.Plan,
 	if closed {
 		// Defensive: a closed client has no registration to coalesce
 		// under, so validate directly rather than deadlock a wave.
-		return EstimatePlansCtx(ctx, plans, s.cat, cache, s.workers)
+		return EstimatePlansBudgetCtx(ctx, plans, s.cat, cache, s.workers, s.memBudget.Load())
 	}
 	req := &schedRequest{ctx: ctx, plans: plans, cache: cache, done: make(chan schedResult, 1)}
 	s.mu.Lock()
@@ -284,6 +298,13 @@ func (s *Scheduler) abandon(req *schedRequest) {
 
 // run executes one wave: all queued requests as one deduplicated
 // skeleton batch, each request's estimates delivered to its future.
+// Failures are contained at two granularities: a plan that panics or
+// breaches the memory budget inside the batch fails only its
+// requester's perGroup slot, and a panic at the wave boundary itself —
+// which no single requester can be blamed for — is recovered by
+// runWave and delivered to every requester as a *PanicError rather
+// than crashing the process (waves often run on scheduler-owned
+// goroutines with no caller underneath).
 func (s *Scheduler) run(batch []*schedRequest) {
 	if len(batch) == 0 {
 		return
@@ -293,7 +314,7 @@ func (s *Scheduler) run(batch []*schedRequest) {
 		groups[i] = PlanGroup{Plans: r.plans, Cache: r.cache}
 	}
 	wctx, stop := mergedContext(batch)
-	ests, perGroup, err := estimateGroupsFn(wctx, groups, s.cat, s.workers)
+	ests, perGroup, err := s.runWave(wctx, groups, len(batch))
 	stop()
 	for i, r := range batch {
 		var res schedResult
@@ -318,9 +339,25 @@ func (s *Scheduler) run(batch []*schedRequest) {
 	}
 }
 
+// runWave executes one wave's estimation with a boundary recover: a
+// panic escaping the batch machinery (or injected at the wave seam)
+// becomes a batch-level *PanicError instead of unwinding into run's
+// goroutine and killing the process.
+func (s *Scheduler) runWave(wctx context.Context, groups []PlanGroup, requests int) (ests [][]*Estimate, perGroup []error, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ests, perGroup, err = nil, nil, executor.NewPanicError(r)
+		}
+	}()
+	if faultinject.Active() {
+		faultinject.Fire(faultinject.SchedulerWave, fmt.Sprintf("requests=%d", requests))
+	}
+	return estimateGroupsFn(wctx, groups, s.cat, s.workers, s.memBudget.Load())
+}
+
 // estimateGroupsFn indirects the wave executor for tests that need to
 // observe or stall a wave in flight.
-var estimateGroupsFn = EstimatePlanGroupsCtx
+var estimateGroupsFn = EstimatePlanGroupsBudgetCtx
 
 // mergedContext returns the context a wave runs under: done only when
 // EVERY requester's context is done, so one query's cancellation never

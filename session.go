@@ -44,11 +44,13 @@ import (
 // calls is safe and invalidates the shared cache wholesale via the
 // catalog's sample epoch.
 type Session struct {
-	cat     *Catalog
-	opt     *optimizer.Optimizer
-	cache   *sampling.WorkloadCache
-	sched   *sampling.Scheduler
-	workers int
+	cat       *Catalog
+	opt       *optimizer.Optimizer
+	cache     *sampling.WorkloadCache
+	sched     *sampling.Scheduler
+	workers   int
+	memBudget int64
+	adm       *admission
 }
 
 // sessionConfig collects Open's functional options.
@@ -62,6 +64,9 @@ type sessionConfig struct {
 	cache        *WorkloadCache
 	wantSched    bool
 	schedWindow  time.Duration
+	memBudget    int64
+	maxInFlight  int
+	queueDepth   int
 }
 
 // SessionOption configures Open.
@@ -134,6 +139,51 @@ func WithWorkloadScheduler(window time.Duration) SessionOption {
 	}
 }
 
+// WithMemoryBudget caps, per validation, the number of materialized
+// boundary-column values plus hash-table entries the skeleton engines
+// may hold live (<= 0 means unlimited) — the space analogue of the
+// paper's §5.4 time budget, for daemons that must bound the worst-case
+// footprint of any single validation. A breach never fails a query:
+// inside Reoptimize / ReoptimizeMultiSeed / ReoptimizeWorkload the
+// offending candidate plan is charged the breach and the round keeps
+// the best validated plan so far, exactly like an expired time budget
+// (the sentinel, ErrMemoryBudget, wraps context.DeadlineExceeded for
+// that reason). Only Validate — which has no best-so-far to fall back
+// on — surfaces ErrMemoryBudget to the caller, positionally, for
+// exactly the plans that breached. The budget is enforced per plan per
+// validation: co-batched and co-scheduled queries each get the full
+// budget, a breaching plan never poisons the shared cache, and its
+// peers' results stay byte-identical to running without it.
+//
+// The unit is values, matching WithSharedCacheValues: what one
+// validation may materialize transiently versus what the cache may
+// retain persistently.
+func WithMemoryBudget(values int64) SessionOption {
+	return func(c *sessionConfig) { c.memBudget = values }
+}
+
+// WithMaxInFlight bounds how many expensive calls — Reoptimize,
+// ReoptimizeMultiSeed, Validate, and each query inside
+// ReoptimizeWorkload — may run concurrently (n) and how many more may
+// wait their turn (queueDepth, FIFO). The call after the queue fills is
+// shed immediately with ErrOverloaded rather than waiting: a loaded
+// daemon degrades by answering fewer queries fast, not every query
+// slowly. A queued call whose ctx is cancelled leaves the queue
+// promptly with ctx.Err(). n <= 0 means unlimited (the default).
+// Serial traffic — one call at a time — is never queued or shed at any
+// setting of n >= 1. Execute and MidQuery are not admission-limited;
+// they only respect Close.
+//
+// In ReoptimizeWorkload, a shed query leaves a nil hole in the result
+// slice with an ErrOverloaded-wrapped error recorded per query in the
+// returned *WorkloadError; answered queries are unaffected.
+func WithMaxInFlight(n, queueDepth int) SessionOption {
+	return func(c *sessionConfig) {
+		c.maxInFlight = n
+		c.queueDepth = queueDepth
+	}
+}
+
 // WithCache adopts an existing workload cache instead of creating one —
 // for sharing validation counts between sessions (e.g. two sessions
 // planning one catalog under different optimizer configurations), or
@@ -162,9 +212,11 @@ func Open(cat *Catalog, opts ...SessionOption) (*Session, error) {
 		cfg.optCfg = DefaultOptimizerConfig()
 	}
 	s := &Session{
-		cat:     cat,
-		opt:     optimizer.New(cat, cfg.optCfg),
-		workers: cfg.workers,
+		cat:       cat,
+		opt:       optimizer.New(cat, cfg.optCfg),
+		workers:   cfg.workers,
+		memBudget: cfg.memBudget,
+		adm:       newAdmission(cfg.maxInFlight, cfg.queueDepth),
 	}
 	switch {
 	case cfg.cache != nil:
@@ -174,8 +226,20 @@ func Open(cat *Catalog, opts ...SessionOption) (*Session, error) {
 	}
 	if cfg.wantSched {
 		s.sched = sampling.NewScheduler(cat, cfg.workers, cfg.schedWindow)
+		s.sched.SetMemBudget(cfg.memBudget)
 	}
 	return s, nil
+}
+
+// Close shuts the session down: every call that arrives afterwards —
+// and every call still waiting in the admission queue — fails with
+// ErrSessionClosed, and Close blocks until the calls already in flight
+// finish (they complete normally; nothing is aborted). The catalog, a
+// cache adopted via WithCache, and already-returned results remain
+// valid. Close is idempotent and safe to call concurrently.
+func (s *Session) Close() error {
+	s.adm.close()
+	return nil
 }
 
 // Catalog returns the catalog the session plans against.
@@ -249,6 +313,7 @@ func (s *Session) reoptimizer(opts []ReoptOption) *Reoptimizer {
 	r := core.New(s.opt, s.cat)
 	r.Opts.Workers = s.workers
 	r.Opts.Cache = s.cache
+	r.Opts.MemBudget = s.memBudget
 	for _, o := range opts {
 		o(&r.Opts)
 	}
@@ -276,7 +341,18 @@ func (s *Session) attachScheduler(r *Reoptimizer) (release func()) {
 // ctx deadline (or WithTimeout) is a budget, returning the best plan
 // generated so far when it expires. Results are byte-identical to the
 // legacy Reoptimizer at every worker count and cache configuration.
+//
+// The call is subject to the session's admission gate: with
+// WithMaxInFlight configured it may queue (honoring ctx while it
+// waits) or fail fast with ErrOverloaded, and after Close it fails
+// with ErrSessionClosed. A panic inside a validation engine surfaces
+// as an error matching ErrValidationPanic instead of unwinding; the
+// session remains fully usable.
 func (s *Session) Reoptimize(ctx context.Context, q *Query, opts ...ReoptOption) (*ReoptResult, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
 	r := s.reoptimizer(opts)
 	release := s.attachScheduler(r)
 	defer release()
@@ -288,8 +364,13 @@ func (s *Session) Reoptimize(ctx context.Context, q *Query, opts ...ReoptOption)
 // whose final plan has the lowest sampled cost. Seeds share one
 // validation cache — and the session's cross-query cache, when
 // configured — and their round-1 candidates validate as one shared-scan
-// batch. Context semantics match Reoptimize.
+// batch. Context, admission and panic-containment semantics match
+// Reoptimize.
 func (s *Session) ReoptimizeMultiSeed(ctx context.Context, q *Query, seeds int, opts ...ReoptOption) (*ReoptResult, error) {
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
 	r := s.reoptimizer(opts)
 	release := s.attachScheduler(r)
 	defer release()
@@ -306,8 +387,20 @@ func (s *Session) ReoptimizeMultiSeed(ctx context.Context, q *Query, seeds int, 
 // ctx.Err() without poisoning the cache. Validate subsumes the
 // deprecated EstimateBySampling, EstimateBySamplingWorkers and
 // EstimateBySamplingBatch.
+//
+// The call is admission-gated like Reoptimize. Under WithMemoryBudget,
+// a validation that breaches the budget fails the call with an error
+// matching ErrMemoryBudget — Validate has no best-so-far plan to
+// degrade to — and a panic inside a plan's subtree fails it with an
+// error matching ErrValidationPanic; in both cases the cache is left
+// unpoisoned. The isolation boundary is the call: a breach or panic in
+// one Validate never affects a concurrent call's results.
 func (s *Session) Validate(ctx context.Context, plans ...*Plan) ([]*SamplingEstimate, error) {
-	return sampling.EstimatePlansCtx(ctx, plans, s.cat, s.samplingCache(), s.workers)
+	if err := s.adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	return sampling.EstimatePlansBudgetCtx(ctx, plans, s.cat, s.samplingCache(), s.workers, s.memBudget)
 }
 
 // samplingCache adapts the session's optional shared cache to the
@@ -324,6 +417,10 @@ func (s *Session) samplingCache() sampling.Cache {
 // aborts the run — the Volcano pull loop polls the context every 1024
 // rows per operator — with ctx.Err().
 func (s *Session) Execute(ctx context.Context, p *Plan, opts ExecOptions) (*ExecResult, error) {
+	if err := s.adm.enter(); err != nil {
+		return nil, err
+	}
+	defer s.adm.exit()
 	return executor.RunCtx(ctx, p, s.cat, opts)
 }
 
@@ -332,7 +429,83 @@ func (s *Session) Execute(ctx context.Context, p *Plan, opts ExecOptions) (*Exec
 // the true cardinality, replan the rest. Cancelling ctx aborts
 // mid-materialization with ctx.Err().
 func (s *Session) MidQuery(ctx context.Context, q *Query) (*MidQueryResult, error) {
+	if err := s.adm.enter(); err != nil {
+		return nil, err
+	}
+	defer s.adm.exit()
 	return midquery.New(s.opt, s.cat).RunCtx(ctx, q)
+}
+
+// WorkloadError reports a ReoptimizeWorkload call that answered some
+// queries but not all. Errs is positional and parallel to the result
+// slice: Errs[i] is non-nil exactly where results[i] is nil, wrapping
+// the per-query cause — ErrBudgetExceeded (budget spent while the
+// query sat queued), ErrOverloaded (shed at the admission gate),
+// ErrValidationPanic (contained engine panic), or ErrSessionClosed.
+// errors.Is on the WorkloadError itself matches any of the per-query
+// causes, so existing `errors.Is(err, ErrBudgetExceeded)` callers keep
+// working.
+type WorkloadError struct {
+	Queries int     // total queries in the workload
+	Errs    []error // positional per-query causes; nil where answered
+}
+
+func (e *WorkloadError) Error() string {
+	missing := 0
+	for _, qe := range e.Errs {
+		if qe != nil {
+			missing++
+		}
+	}
+	return fmt.Sprintf("reopt: workload finished with %d/%d queries unanswered (first: %v)",
+		missing, e.Queries, e.first())
+}
+
+func (e *WorkloadError) first() error {
+	for _, qe := range e.Errs {
+		if qe != nil {
+			return qe
+		}
+	}
+	return nil
+}
+
+// Unwrap exposes the non-nil per-query causes to errors.Is/As.
+func (e *WorkloadError) Unwrap() []error {
+	errs := make([]error, 0, len(e.Errs))
+	for _, qe := range e.Errs {
+		if qe != nil {
+			errs = append(errs, qe)
+		}
+	}
+	return errs
+}
+
+// reoptimizeIsolated is the workload worker's re-optimization step: the
+// body of Reoptimize without the admission gate (the worker holds its
+// own permit), plus a panic barrier. Workload queries run on
+// session-owned goroutines, where an escaped panic would kill the whole
+// process rather than one caller — so here, unlike on the synchronous
+// entry points, containment at the seam is mandatory, not courtesy.
+func (s *Session) reoptimizeIsolated(ctx context.Context, q *Query, opts []ReoptOption) (res *ReoptResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, executor.NewPanicError(r)
+		}
+	}()
+	r := s.reoptimizer(opts)
+	release := s.attachScheduler(r)
+	defer release()
+	return r.ReoptimizeCtx(ctx, q)
+}
+
+// isolatedQueryError reports whether err fails only the query that
+// produced it — a contained panic, an admission shed, or a close racing
+// the workload — as opposed to conditions that end the whole call.
+func isolatedQueryError(err error) bool {
+	return errors.Is(err, ErrValidationPanic) ||
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, ErrSessionClosed)
 }
 
 // ReoptimizeWorkload re-optimizes a batch of queries with bounded
@@ -346,18 +519,25 @@ func (s *Session) MidQuery(ctx context.Context, q *Query) (*MidQueryResult, erro
 // into shared skeleton-batch waves; either way every query's result is
 // identical to re-optimizing it sequentially.
 //
-// Results are positional. The first query error cancels the remaining
-// work and is returned; cancelling ctx cancels every in-flight query
-// and returns ctx.Err(). A deadline on ctx follows the package's
-// budget semantics instead: queries already answered keep their
-// results (in-flight ones return their best-so-far plans), and the
-// call returns the partial result slice alongside an error wrapping
-// ErrBudgetExceeded, with nil entries for the queries whose budget was
-// spent while they sat queued.
+// Results are positional. Failures that are one query's own — a spent
+// per-query budget, an ErrOverloaded admission shed, a contained
+// validation panic — leave a nil hole at that query's position while
+// every other query proceeds; the call then returns the partial result
+// slice alongside a *WorkloadError carrying the per-query causes
+// (errors.Is against it matches each cause, e.g. ErrBudgetExceeded).
+// A deadline on ctx follows the same budget semantics: queries already
+// answered keep their results, in-flight ones return their
+// best-so-far plans, and queries whose budget was spent while they sat
+// queued become holes. Any other query error — and plain cancellation
+// of ctx, which returns (nil, ctx.Err()) — cancels the remaining work.
 func (s *Session) ReoptimizeWorkload(ctx context.Context, queries []*Query, parallelism int, opts ...ReoptOption) ([]*ReoptResult, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
+	if err := s.adm.enter(); err != nil {
+		return nil, err
+	}
+	defer s.adm.exit()
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -367,6 +547,7 @@ func (s *Session) ReoptimizeWorkload(ctx context.Context, queries []*Query, para
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make([]*ReoptResult, len(queries))
+	qerrs := make([]error, len(queries)) // disjoint writes: one owner per index
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -382,12 +563,26 @@ func (s *Session) ReoptimizeWorkload(ctx context.Context, queries []*Query, para
 				if i >= len(queries) || wctx.Err() != nil {
 					return
 				}
-				res, err := s.Reoptimize(wctx, queries[i], opts...)
+				if err := s.adm.acquire(wctx); err != nil {
+					if isolatedQueryError(err) {
+						// Shed (or closed mid-workload): this query is
+						// lost, the rest of the workload is not.
+						qerrs[i] = fmt.Errorf("reopt: workload query %d: %w", i, err)
+						continue
+					}
+					return // ctx cancelled or deadline spent while queued
+				}
+				res, err := s.reoptimizeIsolated(wctx, queries[i], opts)
+				s.adm.release()
 				if err != nil {
-					// Budget exhaustion is not a workload-fatal error:
-					// this query never produced a plan, but completed
-					// queries keep their results. Everything else
-					// cancels the remaining work.
+					// Contained panics fail their own query; budget
+					// exhaustion means this query never produced a plan
+					// but completed queries keep theirs. Everything
+					// else cancels the remaining work.
+					if isolatedQueryError(err) {
+						qerrs[i] = fmt.Errorf("reopt: workload query %d: %w", i, err)
+						continue
+					}
 					if errors.Is(err, context.DeadlineExceeded) {
 						return
 					}
@@ -409,16 +604,18 @@ func (s *Session) ReoptimizeWorkload(ctx context.Context, queries []*Query, para
 		return nil, firstErr
 	}
 	missing := 0
-	for _, r := range results {
+	for i, r := range results {
 		if r == nil {
+			if qerrs[i] == nil {
+				// No recorded cause: the per-query budget was spent
+				// while the query sat queued behind its peers.
+				qerrs[i] = fmt.Errorf("reopt: workload query %d unanswered: %w", i, ErrBudgetExceeded)
+			}
 			missing++
 		}
 	}
 	if missing > 0 {
-		// Only a spent budget leaves holes at this point: in-flight
-		// queries returned best-so-far results without error.
-		return results, fmt.Errorf("reopt: workload budget exhausted with %d/%d queries unanswered: %w",
-			missing, len(queries), ErrBudgetExceeded)
+		return results, &WorkloadError{Queries: len(queries), Errs: qerrs}
 	}
 	return results, nil
 }
