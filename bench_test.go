@@ -468,6 +468,53 @@ func BenchmarkWorkloadScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedValidation measures the sample-sharding fan-out on a
+// 4x-larger sample than BenchmarkSamplingEstimatePlan's — the shape the
+// knob targets: a single validation whose monolithic scan is too coarse
+// to spread across workers. shards=1 is the monolithic baseline;
+// shards=2/4 split every scan and hash build into mergeable per-shard
+// tasks, so at workers >= 2 the same validation's work genuinely
+// overlaps (at workers=1 sharding must track the monolithic run within
+// merge overhead — results are byte-identical in every cell).
+func BenchmarkShardedValidation(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 80})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4} {
+		for _, w := range benchParallelisms() {
+			b.Run(fmt.Sprintf("shards=%d/workers=%d", shards, w), func(b *testing.B) {
+				s, err := reopt.Open(cat,
+					reopt.WithWorkers(w), reopt.WithSampleShards(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := s.Optimize(qs[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Validate(ctx, p); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Validate(ctx, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkWorkloadCache measures what the workload-level validation
 // cache buys on a workload of similar queries: "cold" re-optimizes the
 // whole workload with per-query caches (every query validates from

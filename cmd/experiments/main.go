@@ -6,6 +6,7 @@
 //	experiments -id fig10
 //	experiments -id all [-csv] [-customers 1500] [-instances 5] [-seed 42]
 //	experiments -id fig17 -workers 4          # validation fan-out on 4 workers
+//	experiments -id fig17 -shards 4           # shard each sample's scan across workers
 //	experiments -id fig17 -cache 4096         # share validation counts across queries
 //
 // Each experiment prints a table whose rows are the series the paper
@@ -13,7 +14,10 @@
 //
 // -workers bounds each validation's skeleton-run parallelism (0 =
 // GOMAXPROCS, 1 = sequential); estimates are identical at every
-// setting. -cache N shares a workload-level validation cache of N
+// setting. -shards N splits each table's sample into N contiguous
+// shards so a single validation's scans and hash builds fan out across
+// the workers; results stay byte-identical (<= 1 = monolithic).
+// -cache N shares a workload-level validation cache of N
 // subtree entries across every query of the run, so repeated/similar
 // query instances reuse counts; it is off by default because the
 // paper's overhead figures measure each query cold.
@@ -40,6 +44,7 @@ func main() {
 		dsSales    = flag.Int("ds-sales", 0, "TPC-DS store_sales rows (default 30000)")
 		instances  = flag.Int("instances", 0, "instances per query template (default 5)")
 		workers    = flag.Int("workers", 0, "validation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		shards     = flag.Int("shards", 0, "sample shards per table for validation (<= 1 = monolithic); results are byte-identical at every setting")
 		cacheSize  = flag.Int("cache", 0, "workload validation-cache budget in subtree entries (0 = off)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); cancels in-flight work on expiry")
 		seed       = flag.Int64("seed", 42, "random seed")
@@ -59,6 +64,7 @@ func main() {
 		DSStoreSales:         *dsSales,
 		Instances:            *instances,
 		Workers:              *workers,
+		SampleShards:         *shards,
 		WorkloadCacheEntries: *cacheSize,
 		Seed:                 *seed,
 	}

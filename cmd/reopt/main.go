@@ -9,6 +9,7 @@
 //	reopt -db tpch -z 1 -query 9       # TPC-H template Q9 on the skewed DB
 //	reopt -db ott                       # a generated 5-table OTT query
 //	reopt -db ott -timeout 20ms         # budget the whole re-optimization
+//	reopt -db ott -shards 4 -workers 4  # shard each sample across workers
 package main
 
 import (
@@ -30,17 +31,18 @@ func main() {
 		queryID = flag.Int("query", 0, "TPC-H template number (with -db tpch)")
 		analyze = flag.Bool("analyze", false, "print EXPLAIN ANALYZE (estimated vs actual rows)")
 		workers = flag.Int("workers", 0, "validation parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		shards  = flag.Int("shards", 0, "sample shards per table for validation (<= 1 = monolithic); results are byte-identical at every setting")
 		cache   = flag.Int("cache", 0, "workload validation-cache budget in subtree entries (0 = off)")
 		timeout = flag.Duration("timeout", 0, "re-optimization time budget (0 = none); returns best-so-far on expiry")
 	)
 	flag.Parse()
-	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *cache, *timeout); err != nil {
+	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *shards, *cache, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "reopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, cacheEntries int, timeout time.Duration) error {
+func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, shards, cacheEntries int, timeout time.Duration) error {
 	ctx := context.Background()
 	var cat *reopt.Catalog
 	var err error
@@ -66,6 +68,9 @@ func run(db string, z float64, seed int64, sqlText string, queryID int, analyze 
 	// session — e.g. a script driving many queries — would reuse counts
 	// between re-optimizations through that cache.
 	opts := []reopt.SessionOption{reopt.WithWorkers(workers)}
+	if shards > 1 {
+		opts = append(opts, reopt.WithSampleShards(shards))
+	}
 	if cacheEntries > 0 {
 		opts = append(opts, reopt.WithSharedCache(cacheEntries))
 	}

@@ -12,7 +12,7 @@ import (
 // sequentialEstimator ignores batching and caching: every plan's
 // skeleton re-executes from scratch, one plan at a time — the reference
 // behavior the batched path must be observably identical to.
-func sequentialEstimator(_ context.Context, ps []*plan.Plan, c *catalog.Catalog, _ sampling.Cache, _ int, _ int64) ([]*sampling.Estimate, error) {
+func sequentialEstimator(_ context.Context, ps []*plan.Plan, c *catalog.Catalog, _ sampling.Cache, _ sampling.ValidateConfig) ([]*sampling.Estimate, error) {
 	out := make([]*sampling.Estimate, len(ps))
 	for i, p := range ps {
 		e, err := sampling.EstimatePlan(p, c)

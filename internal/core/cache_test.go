@@ -29,7 +29,7 @@ func TestCrossRoundCacheGammaIdentical(t *testing.T) {
 
 		// Ignore the cache and the batch: every round re-executes every
 		// plan's skeleton from scratch, one at a time.
-		estimatePlansFn = func(_ context.Context, ps []*plan.Plan, c *catalog.Catalog, _ sampling.Cache, _ int, _ int64) ([]*sampling.Estimate, error) {
+		estimatePlansFn = func(_ context.Context, ps []*plan.Plan, c *catalog.Catalog, _ sampling.Cache, _ sampling.ValidateConfig) ([]*sampling.Estimate, error) {
 			out := make([]*sampling.Estimate, len(ps))
 			for i, p := range ps {
 				e, err := sampling.EstimatePlan(p, c)

@@ -22,10 +22,10 @@ func TestMultiSeedHonorsTimeout(t *testing.T) {
 	orig := estimatePlansFn
 	defer func() { estimatePlansFn = orig }()
 	calls := 0
-	estimatePlansFn = func(ctx context.Context, ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, workers int, memBudget int64) ([]*sampling.Estimate, error) {
+	estimatePlansFn = func(ctx context.Context, ps []*plan.Plan, c *catalog.Catalog, cache sampling.Cache, cfg sampling.ValidateConfig) ([]*sampling.Estimate, error) {
 		calls++
 		time.Sleep(5 * time.Millisecond)
-		return orig(ctx, ps, c, cache, workers, memBudget)
+		return orig(ctx, ps, c, cache, cfg)
 	}
 	r.Opts.Timeout = time.Millisecond
 	res, err := r.ReoptimizeMultiSeed(qs[0], 4)

@@ -67,6 +67,18 @@ type Options struct {
 	// selects GOMAXPROCS, 1 forces sequential execution. Estimates are
 	// byte-identical at every setting.
 	Workers int
+	// SampleShards splits each table's sample into that many contiguous
+	// word-aligned shards for validation: every skeleton scan and hash
+	// build runs per shard and the partial results merge in shard order
+	// (counts sum; materialized columns concatenate), so one wave's work
+	// fans out across Workers even when a single sample is too small to
+	// split — the same latency budget buys proportionally larger
+	// samples. <= 1 keeps the monolithic layout bit-for-bit; estimates,
+	// budget verdicts, and cache contents are byte-identical at every
+	// setting. Only the direct validation path applies it; a Validator
+	// configures its own shard count (the workload scheduler's
+	// SetShards).
+	SampleShards int
 	// Cache optionally supplies a workload-level validation cache
 	// shared across queries: repeated or similar query instances reuse
 	// each other's validation counts (entries are LRU-bounded and
@@ -433,9 +445,13 @@ func (r *Reoptimizer) validatePlans(ctx context.Context, plans []*plan.Plan, cac
 	if r.Opts.Validator != nil {
 		return r.Opts.Validator.ValidatePlans(ctx, plans, cache)
 	}
-	return estimatePlansFn(ctx, plans, r.Cat, cache, r.Opts.Workers, r.Opts.MemBudget)
+	return estimatePlansFn(ctx, plans, r.Cat, cache, sampling.ValidateConfig{
+		Workers:   r.Opts.Workers,
+		Shards:    r.Opts.SampleShards,
+		MemBudget: r.Opts.MemBudget,
+	})
 }
 
 // estimatePlansFn indirects the batched sampling estimator for
 // failure-injection and cache-equivalence tests.
-var estimatePlansFn = sampling.EstimatePlansBudgetCtx
+var estimatePlansFn = sampling.EstimatePlansCfg

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestReoptimizeShardsIdentical: the full Algorithm 1 loop — Γ
+// accumulation, round traces, final plan — must be byte-identical at
+// every sample shard count. SampleShards only re-partitions each
+// validation's scans and hash builds; the merged partial results are
+// indistinguishable from the monolithic run.
+func TestReoptimizeShardsIdentical(t *testing.T) {
+	r, qs := ottSetup(t)
+	for qi, q := range qs[:3] {
+		r.Opts.SampleShards = 1
+		want, err := r.Reoptimize(q)
+		if err != nil {
+			t.Fatalf("query %d monolithic: %v", qi, err)
+		}
+		for _, shards := range []int{2, 3, runtime.NumCPU()} {
+			for _, workers := range []int{1, 2} {
+				r.Opts.SampleShards = shards
+				r.Opts.Workers = workers
+				got, err := r.Reoptimize(q)
+				if err != nil {
+					t.Fatalf("query %d shards=%d workers=%d: %v", qi, shards, workers, err)
+				}
+				compareResults(t, "shards", got, want)
+				if got.Gamma.Snapshot() != want.Gamma.Snapshot() {
+					t.Fatalf("query %d shards=%d workers=%d: Γ diverged", qi, shards, workers)
+				}
+			}
+		}
+		r.Opts.Workers = 0
+	}
+}

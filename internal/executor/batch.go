@@ -35,7 +35,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -116,14 +115,24 @@ func CountSkeletonBatchPlansCtx(ctx context.Context, bplans []BatchPlan, binder 
 // via err (never by unwinding into the caller). Failed tasks store
 // nothing in any cache.
 func CountSkeletonBatchBudgetCtx(ctx context.Context, bplans []BatchPlan, binder func(string) (*storage.Table, error), workers int, memBudget int64) (counts []map[plan.Node]int64, perPlan []error, err error) {
+	return CountSkeletonBatchCfg(ctx, bplans, binder, SkelConfig{Workers: workers, MemBudget: memBudget})
+}
+
+// CountSkeletonBatchCfg is CountSkeletonBatchBudgetCtx with the full
+// config struct. With cfg.Shards > 1, every sample scan and hash-table
+// build splits into that many contiguous word-aligned partitions whose
+// partial results merge in shard order — so one wave's work fans out
+// across the worker pool even when a single sample would be too small
+// to split — with counts, cached sub-results, budget verdicts, and
+// cache keys byte-identical to the monolithic layout.
+func CountSkeletonBatchCfg(ctx context.Context, bplans []BatchPlan, binder func(string) (*storage.Table, error), cfg SkelConfig) (counts []map[plan.Node]int64, perPlan []error, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			counts, perPlan, err = nil, nil, NewPanicError(r)
 		}
 	}()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	cfg = cfg.norm()
+	workers := cfg.Workers
 	if workers == 1 {
 		// One worker means the combined work list cannot fan out, so the
 		// batch machinery (task graph, span closures, per-task bitmaps)
@@ -133,7 +142,8 @@ func CountSkeletonBatchBudgetCtx(ctx context.Context, bplans []BatchPlan, binder
 		counts = make([]map[plan.Node]int64, len(bplans))
 		perPlan = make([]error, len(bplans))
 		for i, bp := range bplans {
-			c, cerr := CountSkeletonBudgetCtx(ctx, bp.Plan, binder, bp.Cache, 1, memBudget)
+			c, cerr := CountSkeletonCfg(ctx, bp.Plan, binder, bp.Cache,
+				SkelConfig{Workers: 1, Shards: cfg.Shards, MemBudget: cfg.MemBudget})
 			if cerr != nil {
 				if errors.Is(cerr, ErrSkeletonUnsupported) ||
 					errors.Is(cerr, ErrMemoryBudget) ||
@@ -175,7 +185,7 @@ func CountSkeletonBatchBudgetCtx(ctx context.Context, bplans []BatchPlan, binder
 	}
 	accounts := make([]memAccount, len(bplans))
 	for i := range accounts {
-		accounts[i].budget = memBudget
+		accounts[i].budget = cfg.MemBudget
 	}
 
 	// Group tasks into waves by join depth; creation order within a
@@ -219,9 +229,9 @@ func CountSkeletonBatchBudgetCtx(ctx context.Context, bplans []BatchPlan, binder
 			faultinject.Fire(faultinject.Wave, tag)
 		}
 		if w == 0 {
-			err = runScanWave(ctx, live, binder, workers)
+			err = runScanWave(ctx, live, binder, workers, cfg.Shards)
 		} else {
-			err = runJoinWave(ctx, live, workers)
+			err = runJoinWave(ctx, live, workers, cfg.Shards)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -318,7 +328,24 @@ type batchTask struct {
 	// and settleWave fails every plan whose tree contains it.
 	failed atomic.Pointer[capturedPanic]
 
-	// Wave-execution scratch, released in the wave's final stage.
+	// Wave-execution scratch, released in the wave's final stage. A
+	// scan task holds one scanShard per sample shard (exactly one with
+	// the monolithic layout); shard outputs merge in shard order into
+	// cols/selTotal before the final stage.
+	shards   []scanShard
+	selTotal int
+	cols     [][]rel.Value
+	table    map[uint64][]int32
+	parts    []probePart
+	pspans   []span
+}
+
+// scanShard is the per-shard scratch of one scan task: the shard's
+// column store view, its compiled filter passes (passes close over the
+// shard's column slices, so compilation is per shard), its bitmaps and
+// selection vector, and the shard's destination offset in the task's
+// merged output columns — the precomputed form of the shard-order merge.
+type scanShard struct {
 	cs     *storage.ColStore
 	nrows  int
 	passes []scanPass
@@ -326,10 +353,7 @@ type batchTask struct {
 	spans  []span
 	cnts   []int
 	sel    []int32
-	cols   [][]rel.Value
-	table  map[uint64][]int32
-	parts  []probePart
-	pspans []span
+	off    int
 }
 
 // addCache registers one more requester cache on the task (and,
@@ -634,20 +658,28 @@ func runPool(ctx context.Context, workers int, units []workUnit) error {
 // --- Scan wave ---
 
 // passCacheKey identifies one compiled filter conjunct: compiling is
-// per (table, predicate), so the batch compiles each table's union of
-// scan filters exactly once no matter how many plans scan it.
+// per (table, predicate, shard), so the batch compiles each table's
+// union of scan filters exactly once per shard no matter how many plans
+// scan it. The shard index is part of the key because passes close over
+// the shard's column slices.
 type passCacheKey struct {
 	table  string
 	filter string
+	shard  int
 }
 
 // runScanWave executes all leaf-scan tasks of the batch: sequential
 // setup (cache probes, binding, one-time filter compilation), then
 // three combined parallel phases — filter bitmaps, selection-vector
 // materialization, boundary-column gathers — each a single span list
-// over every pending task. A ctx abort between or during phases returns
-// before the final stage, so nothing partial reaches any cache.
-func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*storage.Table, error), workers int) error {
+// over every pending task's shards. With shards > 1 each sample scan
+// becomes per-shard work items whose outputs land at precomputed
+// offsets of the merged columns (the shard-order merge, done in place),
+// so the wave fans out across workers even when one sample alone is too
+// small to split; shard identity never reaches sub-results or cache
+// keys. A ctx abort between or during phases returns before the final
+// stage, so nothing partial reaches any cache.
+func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*storage.Table, error), workers, shards int) error {
 	passCache := map[passCacheKey][]scanPass{}
 	var pending []*batchTask
 	total := 0
@@ -660,66 +692,81 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 		if err != nil {
 			return err
 		}
-		t.cs = tab.ColData()
-		t.nrows = t.cs.NumRows()
-		for fi, f := range t.scan.Filters {
-			pk := passCacheKey{t.scan.Table, f.String()}
-			ps, ok := passCache[pk]
-			if !ok {
-				ps = appendFilterPasses(nil, t.cs.Col(t.filterPos[fi]), f)
-				passCache[pk] = ps
+		var stores []*storage.ColStore
+		if shards > 1 {
+			stores = tab.ColDataShards(shards)
+		} else {
+			stores = []*storage.ColStore{tab.ColData()}
+		}
+		t.shards = make([]scanShard, len(stores))
+		for si, cs := range stores {
+			sh := &t.shards[si]
+			sh.cs = cs
+			sh.nrows = cs.NumRows()
+			for fi, f := range t.scan.Filters {
+				pk := passCacheKey{t.scan.Table, f.String(), si}
+				ps, ok := passCache[pk]
+				if !ok {
+					ps = appendFilterPasses(nil, cs.Col(t.filterPos[fi]), f)
+					passCache[pk] = ps
+				}
+				sh.passes = append(sh.passes, ps...)
 			}
-			t.passes = append(t.passes, ps...)
+			total += sh.nrows
 		}
 		pending = append(pending, t)
-		total += t.nrows
 	}
 	if len(pending) == 0 {
 		return nil
 	}
 	chunk := adaptiveChunk(total, workers)
 
-	// Phase 1: filter passes over every task's rows, one combined span
+	// Phase 1: filter passes over every shard's rows, one combined span
 	// list. Identity scans (no filters) fill their selection vector
 	// directly. Per-span counts feed the offsets below.
 	var units []workUnit
 	for _, t := range pending {
 		t := t
-		t.spans = chunkSpans(t.nrows, chunk)
-		if len(t.passes) > 0 {
-			t.bm = vec.NewBitmap(t.nrows)
-			if len(t.passes) > 1 {
-				t.fb = vec.NewBitmap(t.nrows)
-			}
-			t.cnts = make([]int, len(t.spans))
-			for si := range t.spans {
-				si := si
-				units = append(units, workUnit{fail: t.failWith, run: func() {
-					if faultinject.Active() {
-						faultinject.Fire(faultinject.ScanUnit, t.sig)
-					}
-					s := t.spans[si]
-					t.passes[0](t.bm, s.lo, s.hi)
-					for _, pass := range t.passes[1:] {
-						pass(t.fb, s.lo, s.hi)
-						t.bm.And(t.fb, s.lo, s.hi)
-					}
-					t.cnts[si] = t.bm.Count(s.lo, s.hi)
-				}})
-			}
-		} else {
-			t.sel = make([]int32, t.nrows)
-			for si := range t.spans {
-				si := si
-				units = append(units, workUnit{fail: t.failWith, run: func() {
-					if faultinject.Active() {
-						faultinject.Fire(faultinject.ScanUnit, t.sig)
-					}
-					s := t.spans[si]
-					for i := s.lo; i < s.hi; i++ {
-						t.sel[i] = int32(i)
-					}
-				}})
+		for si := range t.shards {
+			si, sh := si, &t.shards[si]
+			sh.spans = chunkSpans(sh.nrows, chunk)
+			if len(sh.passes) > 0 {
+				sh.bm = vec.NewBitmap(sh.nrows)
+				if len(sh.passes) > 1 {
+					sh.fb = vec.NewBitmap(sh.nrows)
+				}
+				sh.cnts = make([]int, len(sh.spans))
+				for spi := range sh.spans {
+					spi := spi
+					units = append(units, workUnit{fail: t.failWith, run: func() {
+						if faultinject.Active() {
+							faultinject.Fire(faultinject.ScanUnit, t.sig)
+							faultinject.Fire(faultinject.ShardUnit, fmt.Sprintf("%s#shard=%d", t.sig, si))
+						}
+						s := sh.spans[spi]
+						sh.passes[0](sh.bm, s.lo, s.hi)
+						for _, pass := range sh.passes[1:] {
+							pass(sh.fb, s.lo, s.hi)
+							sh.bm.And(sh.fb, s.lo, s.hi)
+						}
+						sh.cnts[spi] = sh.bm.Count(s.lo, s.hi)
+					}})
+				}
+			} else {
+				sh.sel = make([]int32, sh.nrows)
+				for spi := range sh.spans {
+					spi := spi
+					units = append(units, workUnit{fail: t.failWith, run: func() {
+						if faultinject.Active() {
+							faultinject.Fire(faultinject.ScanUnit, t.sig)
+							faultinject.Fire(faultinject.ShardUnit, fmt.Sprintf("%s#shard=%d", t.sig, si))
+						}
+						s := sh.spans[spi]
+						for i := s.lo; i < s.hi; i++ {
+							sh.sel[i] = int32(i)
+						}
+					}})
+				}
 			}
 		}
 	}
@@ -727,57 +774,78 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 		return err
 	}
 
-	// Phase 2: materialize surviving row ids, spans writing disjoint
-	// ranges at precomputed offsets so the result is in ascending row
-	// order regardless of completion order. Tasks failed in phase 1 are
-	// skipped: their bitmaps may be partial.
-	units = units[:0]
-	for _, t := range pending {
-		if len(t.passes) == 0 || t.failedPanic() != nil {
-			continue
-		}
-		t := t
-		totalSel := 0
-		offs := make([]int, len(t.spans))
-		for si, c := range t.cnts {
-			offs[si] = totalSel
-			totalSel += c
-		}
-		t.sel = make([]int32, totalSel)
-		for si := range t.spans {
-			if t.cnts[si] == 0 {
-				continue
-			}
-			si, off, cnt := si, offs[si], t.cnts[si]
-			units = append(units, workUnit{fail: t.failWith, run: func() {
-				s := t.spans[si]
-				t.bm.AppendIndices(t.sel[off:off:off+cnt], s.lo, s.hi)
-			}})
-		}
-	}
-	if err := runPool(ctx, workers, units); err != nil {
-		return err
-	}
-
-	// Phase 3: gather boundary columns for the surviving rows.
+	// Phase 2: materialize surviving row ids per shard, spans writing
+	// disjoint ranges at precomputed offsets so each shard's selection
+	// is in ascending row order regardless of completion order. Tasks
+	// failed in phase 1 are skipped: their bitmaps may be partial.
 	units = units[:0]
 	for _, t := range pending {
 		if t.failedPanic() != nil {
 			continue
 		}
 		t := t
-		t.cols = make([][]rel.Value, len(t.refs))
-		for k := range t.refs {
-			t.cols[k] = make([]rel.Value, len(t.sel))
+		for si := range t.shards {
+			sh := &t.shards[si]
+			if len(sh.passes) == 0 {
+				continue
+			}
+			totalSel := 0
+			offs := make([]int, len(sh.spans))
+			for spi, c := range sh.cnts {
+				offs[spi] = totalSel
+				totalSel += c
+			}
+			sh.sel = make([]int32, totalSel)
+			for spi := range sh.spans {
+				if sh.cnts[spi] == 0 {
+					continue
+				}
+				spi, off, cnt := spi, offs[spi], sh.cnts[spi]
+				units = append(units, workUnit{fail: t.failWith, run: func() {
+					s := sh.spans[spi]
+					sh.bm.AppendIndices(sh.sel[off:off:off+cnt], s.lo, s.hi)
+				}})
+			}
 		}
-		if len(t.refs) == 0 || len(t.sel) == 0 {
+	}
+	if err := runPool(ctx, workers, units); err != nil {
+		return err
+	}
+
+	// Phase 3: gather boundary columns for the surviving rows. Each
+	// shard writes its slice of the merged output columns at the shard's
+	// cumulative offset — mergePartials performed in place, so shard
+	// outputs concatenate in shard order without a copy step.
+	units = units[:0]
+	for _, t := range pending {
+		if t.failedPanic() != nil {
 			continue
 		}
-		for _, s := range chunkSpans(len(t.sel), chunk) {
-			s := s
-			units = append(units, workUnit{fail: t.failWith, run: func() {
-				gatherCols(t.cs, t.boundPos, t.cols, t.sel, s.lo, s.hi)
-			}})
+		t := t
+		count := 0
+		for si := range t.shards {
+			t.shards[si].off = count
+			count += len(t.shards[si].sel)
+		}
+		t.selTotal = count
+		t.cols = make([][]rel.Value, len(t.refs))
+		for k := range t.refs {
+			t.cols[k] = make([]rel.Value, count)
+		}
+		if len(t.refs) == 0 || count == 0 {
+			continue
+		}
+		for si := range t.shards {
+			sh := &t.shards[si]
+			if len(sh.sel) == 0 {
+				continue
+			}
+			for _, s := range chunkSpans(len(sh.sel), chunk) {
+				s, sh := s, sh
+				units = append(units, workUnit{fail: t.failWith, run: func() {
+					gatherColsOff(sh.cs, t.boundPos, t.cols, sh.sel, s.lo, s.hi, sh.off)
+				}})
+			}
 		}
 	}
 	if err := runPool(ctx, workers, units); err != nil {
@@ -788,14 +856,12 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 		if t.failedPanic() != nil {
 			// A failed task computes no sub-result and must not poison
 			// any cache; settleWave attributes the failure to its plans.
-			t.cs, t.passes, t.bm, t.fb = nil, nil, nil, nil
-			t.spans, t.cnts, t.sel, t.cols = nil, nil, nil, nil
+			t.shards, t.cols = nil, nil
 			continue
 		}
-		t.sub = &subResult{sig: t.primaryKey(), count: len(t.sel), refs: t.refs, cols: t.cols}
+		t.sub = &subResult{sig: t.primaryKey(), count: t.selTotal, refs: t.refs, cols: t.cols}
 		t.storeSub(t.sub, -1)
-		t.cs, t.passes, t.bm, t.fb = nil, nil, nil, nil
-		t.spans, t.cnts, t.sel, t.cols = nil, nil, nil, nil
+		t.shards, t.cols = nil, nil
 	}
 	return nil
 }
@@ -811,11 +877,17 @@ type tableBuildKey struct {
 }
 
 // tableBuild is one deduplicated hash-table construction and the tasks
-// awaiting it.
+// awaiting it. Sharded builds carry one segment per word-aligned build
+// partition (storage.ShardBounds over the build rows): each segment's
+// unit fills its own parts slot, and the segments merge by appending
+// buckets in segment order — the same bucket contents as a sequential
+// build, since segments are ascending contiguous row ranges.
 type tableBuild struct {
 	r     *subResult
 	rkey  []int
 	table map[uint64][]int32
+	segs  []span
+	parts []map[uint64][]int32
 	users []*batchTask
 }
 
@@ -828,10 +900,12 @@ func intsKey(xs []int) string {
 }
 
 // runJoinWave executes one depth level of join tasks: sequential cache
-// probes and key resolution, parallel deduplicated hash-table builds,
-// then one combined probe span list, merged per task in span order. A
-// ctx abort returns before any result or hash table reaches any cache.
-func runJoinWave(ctx context.Context, tasks []*batchTask, workers int) error {
+// probes and key resolution, parallel deduplicated hash-table builds
+// (segmented across shards when sharding is on, merged in segment
+// order), then one combined probe span list, merged per task in span
+// order. A ctx abort returns before any result or hash table reaches
+// any cache.
+func runJoinWave(ctx context.Context, tasks []*batchTask, workers, shards int) error {
 	var pending []*batchTask
 	total := 0
 	for _, t := range tasks {
@@ -890,6 +964,27 @@ func runJoinWave(ctx context.Context, tasks []*batchTask, workers int) error {
 				t.failWith(cp)
 			}
 		}
+		if shards > 1 {
+			if bounds := storage.ShardBounds(tb.r.count, shards); len(bounds) > 2 {
+				tb.segs = make([]span, len(bounds)-1)
+				tb.parts = make([]map[uint64][]int32, len(tb.segs))
+				for i := range tb.segs {
+					tb.segs[i] = span{bounds[i], bounds[i+1]}
+				}
+				for segi := range tb.segs {
+					segi := segi
+					units = append(units, workUnit{fail: fail, run: func() {
+						if faultinject.Active() {
+							faultinject.Fire(faultinject.BuildUnit, tb.users[0].sig)
+							faultinject.Fire(faultinject.ShardUnit, fmt.Sprintf("%s#shard=%d", tb.users[0].sig, segi))
+						}
+						s := tb.segs[segi]
+						tb.parts[segi] = buildHashTableRange(tb.r, tb.rkey, s.lo, s.hi)
+					}})
+				}
+				continue
+			}
+		}
 		units = append(units, workUnit{fail: fail, run: func() {
 			if faultinject.Active() {
 				faultinject.Fire(faultinject.BuildUnit, tb.users[0].sig)
@@ -901,6 +996,21 @@ func runJoinWave(ctx context.Context, tasks []*batchTask, workers int) error {
 		return err
 	}
 	for _, tb := range buildOrder {
+		if tb.table == nil && tb.parts != nil {
+			// Merge the segment tables in segment order. A panicked
+			// segment leaves a nil part; its users are already failed, so
+			// the merge is skipped and no table is stored anywhere.
+			complete := true
+			for _, p := range tb.parts {
+				if p == nil {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				tb.table = mergeHashTables(tb.parts)
+			}
+		}
 		for _, t := range tb.users {
 			t.table = tb.table
 		}

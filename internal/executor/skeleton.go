@@ -116,24 +116,61 @@ func CountSkeletonCtx(ctx context.Context, p *plan.Plan, binder func(string) (*s
 // anywhere inside evaluation — worker goroutines included — is
 // recovered here and returned as a *PanicError instead of unwinding
 // into the caller.
-func CountSkeletonBudgetCtx(ctx context.Context, p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int, memBudget int64) (counts map[plan.Node]int64, err error) {
+func CountSkeletonBudgetCtx(ctx context.Context, p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, workers int, memBudget int64) (map[plan.Node]int64, error) {
+	return CountSkeletonCfg(ctx, p, binder, cache, SkelConfig{Workers: workers, MemBudget: memBudget})
+}
+
+// SkelConfig carries the execution knobs of the skeleton engines. The
+// zero value means: GOMAXPROCS workers, monolithic (unsharded) samples,
+// no memory budget. Every knob is performance-only — counts, cached
+// sub-results, and budget verdicts are byte-identical at every setting.
+type SkelConfig struct {
+	// Workers caps the parallelism of the partitioned loops; <= 0
+	// selects runtime.GOMAXPROCS(0), 1 runs sequentially.
+	Workers int
+	// Shards splits every sample scan and hash-table build into that
+	// many contiguous word-aligned partitions (storage.ShardBounds)
+	// whose partial results merge associatively in shard order: counts
+	// sum, boundary columns and hash buckets concatenate. <= 1 keeps
+	// the monolithic layout bit-for-bit. Memory-budget charges and
+	// cache keys never mention the shard count, so verdicts and
+	// warm-cache behavior are shard-count-independent.
+	Shards int
+	// MemBudget softly caps the values one plan may materialize;
+	// <= 0 means unlimited (see CountSkeletonBudgetCtx).
+	MemBudget int64
+}
+
+// norm returns the config with defaults resolved.
+func (c SkelConfig) norm() SkelConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// CountSkeletonCfg is CountSkeletonBudgetCtx with the full config
+// struct, including the sample shard count.
+func CountSkeletonCfg(ctx context.Context, p *plan.Plan, binder func(string) (*storage.Table, error), cache *SkeletonCache, cfg SkelConfig) (counts map[plan.Node]int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			counts, err = nil, NewPanicError(r)
 		}
 	}()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	cfg = cfg.norm()
 	e := &skelEngine{
 		ctx:      ctx,
 		q:        p.Query,
 		binder:   binder,
 		cache:    cache,
-		workers:  workers,
+		workers:  cfg.Workers,
+		shards:   cfg.Shards,
 		minChunk: minChunkRows,
 		counts:   make(map[plan.Node]int64),
-		mem:      memAccount{budget: memBudget},
+		mem:      memAccount{budget: cfg.MemBudget},
 	}
 	if _, err := e.eval(p.Root); err != nil {
 		return nil, err
@@ -147,6 +184,7 @@ type skelEngine struct {
 	binder  func(string) (*storage.Table, error)
 	cache   *SkeletonCache
 	workers int
+	shards  int
 	// minChunk is the smallest per-worker slice of rows worth a
 	// goroutine for this engine's partitioned loops. The single-plan
 	// entry points use the fixed minChunkRows; the batch engine derives
@@ -414,24 +452,22 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs := tab.ColData()
-	n := cs.NumRows()
 
-	// Compile every filter into vectorized bitmap passes up front, so
-	// schema-resolution failures surface before any scan work — wrapped
-	// as unsupported, because a scan schema that cannot resolve its own
-	// filter columns is a hand-built shape the general executor may
-	// still know how to run.
-	passes := e.passBuf[:0]
-	for _, f := range t.Filters {
+	// Resolve filter and boundary columns against the scan schema up
+	// front, so schema-resolution failures surface before any scan work
+	// — wrapped as unsupported, because a scan schema that cannot
+	// resolve its own columns is a hand-built shape the general
+	// executor may still know how to run. Positions are shared by every
+	// shard: shards are row partitions of one schema.
+	filterPos := make([]int, len(t.Filters))
+	for fi, f := range t.Filters {
 		pos, err := t.OutSchema.IndexOf(f.Col.Table, f.Col.Column)
 		if err != nil {
 			return nil, fmt.Errorf("executor: skeleton scan %s: filter column %s: %v: %w",
 				t.Alias, f.Col, err, ErrSkeletonUnsupported)
 		}
-		passes = appendFilterPasses(passes, cs.Col(pos), f)
+		filterPos[fi] = pos
 	}
-	e.passBuf = passes[:0]
 	poss := intsBuf(&e.posBuf, len(refs))
 	for k, ref := range refs {
 		pos, err := t.OutSchema.IndexOf(ref.Table, ref.Column)
@@ -441,6 +477,21 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 		}
 		poss[k] = pos
 	}
+
+	if e.shards > 1 {
+		return e.evalScanSharded(t, tab, key, refs, filterPos, poss)
+	}
+
+	cs := tab.ColData()
+	n := cs.NumRows()
+
+	// Compile every filter into vectorized bitmap passes over this
+	// store's columns.
+	passes := e.passBuf[:0]
+	for fi, f := range t.Filters {
+		passes = appendFilterPasses(passes, cs.Col(filterPos[fi]), f)
+	}
+	e.passBuf = passes[:0]
 
 	sel := e.selectRows(passes, n)
 	if e.mem.charge(int64(len(sel)) * int64(len(refs))) {
@@ -469,6 +520,90 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 		}
 	}
 	sub := &subResult{sig: key, count: len(sel), refs: refs, cols: cols}
+	if e.cache != nil {
+		e.cache.putSub(key, sub)
+	}
+	return sub, nil
+}
+
+// shardPartial is one shard's contribution to a sub-result: its match
+// count and its slice of every boundary column. Partials merge in shard
+// order (mergePartials); because shards are contiguous in-order row
+// partitions, the merge reproduces the monolithic result byte for byte.
+type shardPartial struct {
+	count int
+	cols  [][]rel.Value
+}
+
+// mergePartials combines per-shard partials in shard order: counts sum
+// and each boundary column is the concatenation of the shards' columns.
+// The merge is associative — any grouping of adjacent shards yields the
+// same bytes — which is what lets shards execute on independent workers
+// (or, eventually, independent processes) without affecting results.
+func mergePartials(parts []shardPartial, nrefs int) (int, [][]rel.Value) {
+	count := 0
+	for i := range parts {
+		count += parts[i].count
+	}
+	cols := make([][]rel.Value, nrefs)
+	for k := 0; k < nrefs; k++ {
+		merged := make([]rel.Value, 0, count)
+		for i := range parts {
+			if parts[i].cols != nil {
+				merged = append(merged, parts[i].cols[k]...)
+			}
+		}
+		cols[k] = merged
+	}
+	return count, cols
+}
+
+// evalScanSharded is the sharded scan path: each shard view runs the
+// same filter/gather pipeline over its own rows (filters recompiled per
+// shard, since passes close over the shard's column slices) and the
+// partials merge in shard order. The memory budget is charged
+// incrementally per shard; the per-shard charges sum to exactly the
+// monolithic charge, so breach verdicts are shard-count-independent.
+func (e *skelEngine) evalScanSharded(t *plan.ScanNode, tab *storage.Table, key string, refs []sql.ColRef, filterPos, poss []int) (*subResult, error) {
+	shards := tab.ColDataShards(e.shards)
+	injecting := faultinject.Active()
+	var sig string
+	if injecting {
+		sig = subtreeSig(t)
+	}
+	parts := make([]shardPartial, len(shards))
+	for si, cs := range shards {
+		if injecting {
+			faultinject.Fire(faultinject.ShardUnit, fmt.Sprintf("%s#shard=%d", sig, si))
+		}
+		n := cs.NumRows()
+		passes := e.passBuf[:0]
+		for fi, f := range t.Filters {
+			passes = appendFilterPasses(passes, cs.Col(filterPos[fi]), f)
+		}
+		e.passBuf = passes[:0]
+		sel := e.selectRows(passes, n)
+		if e.mem.charge(int64(len(sel)) * int64(len(refs))) {
+			return nil, ErrMemoryBudget
+		}
+		cols := make([][]rel.Value, len(refs))
+		for k := range refs {
+			cols[k] = make([]rel.Value, len(sel))
+		}
+		if len(refs) > 0 && len(sel) > 0 {
+			spans := e.rowSpans(len(sel))
+			if len(spans) == 1 {
+				gatherCols(cs, poss, cols, sel, 0, len(sel))
+			} else {
+				runSpans(spans, func(_ int, s span) {
+					gatherCols(cs, poss, cols, sel, s.lo, s.hi)
+				})
+			}
+		}
+		parts[si] = shardPartial{count: len(sel), cols: cols}
+	}
+	count, cols := mergePartials(parts, len(refs))
+	sub := &subResult{sig: key, count: count, refs: refs, cols: cols}
 	if e.cache != nil {
 		e.cache.putSub(key, sub)
 	}
@@ -541,11 +676,19 @@ func (e *skelEngine) selectRows(passes []scanPass, n int) []int32 {
 // the selection vector into the output columns — the per-span body of
 // the partitioned gather.
 func gatherCols(cs *storage.ColStore, poss []int, cols [][]rel.Value, sel []int32, lo, hi int) {
+	gatherColsOff(cs, poss, cols, sel, lo, hi, 0)
+}
+
+// gatherColsOff is gatherCols writing at a destination offset: selection
+// entry x lands at cols[k][off+x]. Sharded scans use it to concatenate
+// shard outputs in shard order directly into the merged columns (off is
+// the sum of the preceding shards' selection counts).
+func gatherColsOff(cs *storage.ColStore, poss []int, cols [][]rel.Value, sel []int32, lo, hi, off int) {
 	for k, pos := range poss {
 		col := cs.Col(pos)
 		out := cols[k]
 		for x := lo; x < hi; x++ {
-			out[x] = col.Value(int(sel[x]))
+			out[off+x] = col.Value(int(sel[x]))
 		}
 	}
 }
@@ -748,9 +891,11 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 	}
 
 	// Build (or reuse) the hash table over the right side's key columns.
-	// The build stays sequential: bucket append order must be the row
-	// order for deterministic output, and build sides are small relative
-	// to the probe work the partitions absorb.
+	// Unsharded builds stay sequential: bucket append order must be the
+	// row order for deterministic output, and build sides are small
+	// relative to the probe work the partitions absorb. Sharded builds
+	// construct per-segment tables and concatenate buckets in segment
+	// order, which reproduces the same bucket contents.
 	var table map[uint64][]int32
 	tkey := ""
 	if e.cache != nil {
@@ -758,7 +903,11 @@ func (e *skelEngine) evalJoin(t *plan.JoinNode) (*subResult, error) {
 		table = e.cache.getTable(tkey)
 	}
 	if table == nil {
-		table = buildHashTable(r, rkey)
+		if e.shards > 1 {
+			table = e.buildHashTableSharded(r, rkey)
+		} else {
+			table = buildHashTable(r, rkey)
+		}
 		if e.cache != nil {
 			e.cache.putTable(r.sig, tkey, table)
 		}
@@ -857,13 +1006,60 @@ func hashTableKey(rsig string, preds []sql.JoinPred) string {
 // sequential: bucket append order must be the row order for
 // deterministic output.
 func buildHashTable(r *subResult, rkey []int) map[uint64][]int32 {
+	return buildHashTableRange(r, rkey, 0, r.count)
+}
+
+// buildHashTableRange builds a hash table over right rows [lo, hi) —
+// the per-segment body of the sharded build.
+func buildHashTableRange(r *subResult, rkey []int, lo, hi int) map[uint64][]int32 {
 	table := make(map[uint64][]int32)
-	for j := 0; j < r.count; j++ {
+	for j := lo; j < hi; j++ {
 		h, null := hashKeyAt(r.cols, rkey, j)
 		if null {
 			continue // NULL keys never match
 		}
 		table[h] = append(table[h], int32(j))
+	}
+	return table
+}
+
+// buildHashTableSharded partitions the build rows with the same
+// word-aligned bounds as sample shards, builds a table per segment
+// (segments run on independent goroutines — each writes only its own
+// map), and merges them by appending each segment's buckets in segment
+// order. Segments are ascending contiguous row ranges, so every
+// bucket's contents end up in ascending row order — byte-identical to
+// the sequential build, at any shard count.
+func (e *skelEngine) buildHashTableSharded(r *subResult, rkey []int) map[uint64][]int32 {
+	bounds := storage.ShardBounds(r.count, e.shards)
+	if len(bounds) == 2 {
+		return buildHashTable(r, rkey)
+	}
+	parts := make([]map[uint64][]int32, len(bounds)-1)
+	spans := make([]span, len(parts))
+	for i := range spans {
+		spans[i] = span{bounds[i], bounds[i+1]}
+	}
+	if e.workers == 1 {
+		for p, s := range spans {
+			parts[p] = buildHashTableRange(r, rkey, s.lo, s.hi)
+		}
+	} else {
+		runSpans(spans, func(p int, s span) {
+			parts[p] = buildHashTableRange(r, rkey, s.lo, s.hi)
+		})
+	}
+	return mergeHashTables(parts)
+}
+
+// mergeHashTables concatenates per-segment hash tables in segment
+// order: bucket contents append, preserving global row order.
+func mergeHashTables(parts []map[uint64][]int32) map[uint64][]int32 {
+	table := parts[0]
+	for _, p := range parts[1:] {
+		for h, rows := range p {
+			table[h] = append(table[h], rows...)
+		}
 	}
 	return table
 }

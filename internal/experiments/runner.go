@@ -38,6 +38,11 @@ type Config struct {
 	// (core.Options.Workers): 0 selects GOMAXPROCS, 1 forces sequential
 	// execution. Estimates are identical at every setting.
 	Workers int
+	// SampleShards splits each table's sample into that many contiguous
+	// shards for validation (core.Options.SampleShards), fanning each
+	// scan and hash build across the workers; <= 1 keeps the monolithic
+	// layout. Results are byte-identical at every setting.
+	SampleShards int
 	// WorkloadCacheEntries, when positive, shares one workload-level
 	// validation cache (of that many subtree entries) across every
 	// query of the run: repeated and similar query instances reuse each
@@ -112,6 +117,7 @@ func (r *Runner) session(cat *catalog.Catalog, cfg optimizer.Config) (*reopt.Ses
 	return reopt.Open(cat,
 		reopt.WithOptimizerConfig(cfg),
 		reopt.WithWorkers(r.cfg.Workers),
+		reopt.WithSampleShards(r.cfg.SampleShards),
 		reopt.WithCache(r.wlCache))
 }
 

@@ -46,6 +46,11 @@ const (
 	// ProbeUnit fires inside a batch probe unit. Tag: the join task's
 	// subtree signature.
 	ProbeUnit Point = "executor.batch.probe"
+	// ShardUnit fires inside per-shard execution of a sharded sample
+	// scan, in both the single-plan and batch engines. Tag: the task's
+	// subtree signature suffixed with "#shard=<i>", so a rule can
+	// target one shard of one subtree.
+	ShardUnit Point = "executor.batch.shard"
 	// Wave fires at the start of each batch wave. Tag: "scan" or
 	// "join:<depth>".
 	Wave Point = "executor.batch.wave"

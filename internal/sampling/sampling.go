@@ -116,13 +116,40 @@ func EstimatePlanWorkers(p *plan.Plan, cat *catalog.Catalog, cache *ValidationCa
 // cancelled ctx aborts the validation with ctx.Err(). Uncancelled runs
 // are byte-identical to EstimatePlanWorkers.
 func EstimatePlanCtx(ctx context.Context, p *plan.Plan, cat *catalog.Catalog, cache *ValidationCache, workers int) (*Estimate, error) {
+	return EstimatePlanCfg(ctx, p, cat, cache, ValidateConfig{Workers: workers})
+}
+
+// ValidateConfig carries the execution knobs of the validation layer,
+// mirroring executor.SkelConfig. Every knob is performance-only: the
+// estimates (Delta and SampleRows) are byte-identical at every setting.
+type ValidateConfig struct {
+	// Workers caps the skeleton engines' parallelism; <= 0 selects
+	// GOMAXPROCS, 1 forces sequential execution.
+	Workers int
+	// Shards splits every sample scan and hash build into contiguous
+	// word-aligned partitions whose partial results merge in shard
+	// order; <= 1 keeps the monolithic layout bit-for-bit.
+	Shards int
+	// MemBudget softly caps the values each plan's validation may
+	// materialize; <= 0 means unlimited.
+	MemBudget int64
+}
+
+// skel converts the config to the executor layer's form.
+func (c ValidateConfig) skel() executor.SkelConfig {
+	return executor.SkelConfig{Workers: c.Workers, Shards: c.Shards, MemBudget: c.MemBudget}
+}
+
+// EstimatePlanCfg is EstimatePlanCtx with the full validation config,
+// including the sample shard count.
+func EstimatePlanCfg(ctx context.Context, p *plan.Plan, cat *catalog.Catalog, cache *ValidationCache, cfg ValidateConfig) (*Estimate, error) {
 	if !cat.HasSamples() {
 		return nil, fmt.Errorf("sampling: %w", ErrNoSamples)
 	}
 	start := time.Now()
 	skeleton := rewrite(p.Root)
 	sp := &plan.Plan{Root: skeleton, Query: p.Query}
-	nodeRows, err := skeletonCounts(ctx, sp, cat, cache.skeleton(cat), workers)
+	nodeRows, err := skeletonCounts(ctx, sp, cat, cache.skeleton(cat), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("sampling: skeleton run: %w", err)
 	}
@@ -171,10 +198,16 @@ func EstimatePlansCtx(ctx context.Context, plans []*plan.Plan, cat *catalog.Cata
 // validation surfaces as an error matching executor.ErrValidationPanic
 // instead of unwinding.
 func EstimatePlansBudgetCtx(ctx context.Context, plans []*plan.Plan, cat *catalog.Catalog, cache Cache, workers int, memBudget int64) ([]*Estimate, error) {
+	return EstimatePlansCfg(ctx, plans, cat, cache, ValidateConfig{Workers: workers, MemBudget: memBudget})
+}
+
+// EstimatePlansCfg is EstimatePlansBudgetCtx with the full validation
+// config, including the sample shard count.
+func EstimatePlansCfg(ctx context.Context, plans []*plan.Plan, cat *catalog.Catalog, cache Cache, cfg ValidateConfig) ([]*Estimate, error) {
 	if len(plans) == 0 {
 		return nil, nil
 	}
-	ests, perGroup, err := EstimatePlanGroupsBudgetCtx(ctx, []PlanGroup{{Plans: plans, Cache: cache}}, cat, workers, memBudget)
+	ests, perGroup, err := EstimatePlanGroupsCfg(ctx, []PlanGroup{{Plans: plans, Cache: cache}}, cat, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -219,6 +252,13 @@ func EstimatePlanGroupsCtx(ctx context.Context, groups []PlanGroup, cat *catalog
 // are unaffected; the failing group's cache is left unpoisoned (failed
 // work stores nothing, completed shared subtrees remain valid).
 func EstimatePlanGroupsBudgetCtx(ctx context.Context, groups []PlanGroup, cat *catalog.Catalog, workers int, memBudget int64) (ests [][]*Estimate, perGroup []error, err error) {
+	return EstimatePlanGroupsCfg(ctx, groups, cat, ValidateConfig{Workers: workers, MemBudget: memBudget})
+}
+
+// EstimatePlanGroupsCfg is EstimatePlanGroupsBudgetCtx with the full
+// validation config, including the sample shard count — the entry point
+// through which the scheduler fans one wave's shards across workers.
+func EstimatePlanGroupsCfg(ctx context.Context, groups []PlanGroup, cat *catalog.Catalog, cfg ValidateConfig) (ests [][]*Estimate, perGroup []error, err error) {
 	if len(groups) == 0 {
 		return nil, nil, nil
 	}
@@ -250,7 +290,7 @@ func EstimatePlanGroupsBudgetCtx(ctx context.Context, groups []PlanGroup, cat *c
 	counts := make([]map[plan.Node]int64, total)
 	perPlan := make([]error, total)
 	if useFastPath {
-		counts, perPlan, err = executor.CountSkeletonBatchBudgetCtx(ctx, bplans, cat.Sample, workers, memBudget)
+		counts, perPlan, err = executor.CountSkeletonBatchCfg(ctx, bplans, cat.Sample, cfg.skel())
 		if err != nil {
 			return nil, nil, fmt.Errorf("sampling: batch skeleton run: %w", err)
 		}
@@ -372,9 +412,9 @@ var useFastPath = true
 // the explicit unsupported-shape error triggers the fallback — any other
 // engine failure propagates rather than silently degrading every
 // validation to the slow path.
-func skeletonCounts(ctx context.Context, sp *plan.Plan, cat *catalog.Catalog, skel *executor.SkeletonCache, workers int) (map[plan.Node]int64, error) {
+func skeletonCounts(ctx context.Context, sp *plan.Plan, cat *catalog.Catalog, skel *executor.SkeletonCache, cfg ValidateConfig) (map[plan.Node]int64, error) {
 	if useFastPath {
-		counts, err := executor.CountSkeletonCtx(ctx, sp, cat.Sample, skel, workers)
+		counts, err := executor.CountSkeletonCfg(ctx, sp, cat.Sample, skel, cfg.skel())
 		if err == nil {
 			return counts, nil
 		}

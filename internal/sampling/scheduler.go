@@ -70,6 +70,7 @@ type Scheduler struct {
 	workers   int
 	window    time.Duration
 	memBudget atomic.Int64 // per-plan value budget for waves; 0 = unlimited
+	shards    atomic.Int64 // sample shard count for waves; <= 1 = monolithic
 
 	mu     sync.Mutex
 	active int // registered in-flight queries
@@ -100,6 +101,25 @@ func NewScheduler(cat *catalog.Catalog, workers int, window time.Duration) *Sche
 // are in flight (new waves pick up the new budget).
 func (s *Scheduler) SetMemBudget(values int64) {
 	s.memBudget.Store(values)
+}
+
+// SetShards sets the sample shard count the scheduler's waves validate
+// with (<= 1 means the monolithic layout): shards of one wave fan out
+// across the validation workers as independent spans whose partial
+// results merge in shard order. Estimates are byte-identical at every
+// setting. Safe to call while waves are in flight (new waves pick up
+// the new count).
+func (s *Scheduler) SetShards(n int) {
+	s.shards.Store(int64(n))
+}
+
+// cfg snapshots the scheduler's validation config for one wave.
+func (s *Scheduler) cfg() ValidateConfig {
+	return ValidateConfig{
+		Workers:   s.workers,
+		Shards:    int(s.shards.Load()),
+		MemBudget: s.memBudget.Load(),
+	}
 }
 
 // SchedulerStats reports what the scheduler has coalesced so far.
@@ -191,7 +211,7 @@ func (c *SchedulerClient) ValidatePlans(ctx context.Context, plans []*plan.Plan,
 	if closed {
 		// Defensive: a closed client has no registration to coalesce
 		// under, so validate directly rather than deadlock a wave.
-		return EstimatePlansBudgetCtx(ctx, plans, s.cat, cache, s.workers, s.memBudget.Load())
+		return EstimatePlansCfg(ctx, plans, s.cat, cache, s.cfg())
 	}
 	req := &schedRequest{ctx: ctx, plans: plans, cache: cache, done: make(chan schedResult, 1)}
 	s.mu.Lock()
@@ -352,12 +372,12 @@ func (s *Scheduler) runWave(wctx context.Context, groups []PlanGroup, requests i
 	if faultinject.Active() {
 		faultinject.Fire(faultinject.SchedulerWave, fmt.Sprintf("requests=%d", requests))
 	}
-	return estimateGroupsFn(wctx, groups, s.cat, s.workers, s.memBudget.Load())
+	return estimateGroupsFn(wctx, groups, s.cat, s.cfg())
 }
 
 // estimateGroupsFn indirects the wave executor for tests that need to
 // observe or stall a wave in flight.
-var estimateGroupsFn = EstimatePlanGroupsBudgetCtx
+var estimateGroupsFn = EstimatePlanGroupsCfg
 
 // mergedContext returns the context a wave runs under: done only when
 // EVERY requester's context is done, so one query's cancellation never

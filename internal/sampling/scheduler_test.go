@@ -216,11 +216,11 @@ func stallWave(t *testing.T) (started chan struct{}, release chan struct{}, rest
 	started = make(chan struct{})
 	release = make(chan struct{})
 	orig := estimateGroupsFn
-	estimateGroupsFn = func(ctx context.Context, groups []PlanGroup, cat *catalog.Catalog, workers int, memBudget int64) ([][]*Estimate, []error, error) {
+	estimateGroupsFn = func(ctx context.Context, groups []PlanGroup, cat *catalog.Catalog, cfg ValidateConfig) ([][]*Estimate, []error, error) {
 		close(started)
 		select {
 		case <-release:
-			return orig(ctx, groups, cat, workers, memBudget)
+			return orig(ctx, groups, cat, cfg)
 		case <-ctx.Done():
 			return nil, nil, fmt.Errorf("sampling: batch skeleton run: %w", ctx.Err())
 		}

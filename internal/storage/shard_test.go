@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"reopt/internal/rel"
+	"reopt/internal/vec"
+)
+
+// TestShardBoundsInvariants: for any (rows, n), the bounds must cover
+// [0, rows) exactly, in order, with every interior boundary word-aligned
+// and at most n shards.
+func TestShardBoundsInvariants(t *testing.T) {
+	for _, rows := range []int{0, 1, 63, 64, 65, 100, 128, 1000, 4096, 4097} {
+		for _, n := range []int{-1, 0, 1, 2, 3, 4, 7, 64, 1000} {
+			b := ShardBounds(rows, n)
+			if b[0] != 0 || b[len(b)-1] != rows {
+				t.Fatalf("rows=%d n=%d: bounds %v do not span [0,%d]", rows, n, b, rows)
+			}
+			if rows == 0 {
+				// The degenerate empty table keeps one empty shard.
+				if len(b) != 2 {
+					t.Fatalf("rows=0 n=%d: bounds %v, want [0 0]", n, b)
+				}
+				continue
+			}
+			want := n
+			if want < 1 {
+				want = 1
+			}
+			if len(b)-1 > want {
+				t.Fatalf("rows=%d n=%d: %d shards, want <= %d", rows, n, len(b)-1, want)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] <= b[i-1] {
+					t.Fatalf("rows=%d n=%d: bounds %v not strictly increasing", rows, n, b)
+				}
+				if i < len(b)-1 && b[i]%vec.WordBits != 0 {
+					t.Fatalf("rows=%d n=%d: interior boundary %d not word-aligned", rows, n, b[i])
+				}
+			}
+		}
+	}
+	// The layout is a pure function of (rows, n): repeated calls agree.
+	a, b := ShardBounds(1000, 7), ShardBounds(1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ShardBounds is not deterministic")
+		}
+	}
+}
+
+// shardedTable builds a table exercising every column representation the
+// shard views must slice correctly: typed ints, strings with NULLs, and
+// a mixed-kind column that falls back to Vals.
+func shardedTable(t *testing.T, n int) *Table {
+	t.Helper()
+	tab := NewTable("s", rel.NewSchema(
+		rel.Column{Name: "i", Kind: rel.KindInt},
+		rel.Column{Name: "s", Kind: rel.KindString},
+		rel.Column{Name: "m", Kind: rel.KindNull},
+	))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		var s, m rel.Value = rel.String_("x"), rel.Int(int64(i))
+		if rng.Intn(5) == 0 {
+			s = rel.Null
+		}
+		if i%2 == 1 {
+			m = rel.String_("y") // mixes kinds: forces the Vals fallback
+		}
+		tab.MustAppend(rel.Row{rel.Int(int64(rng.Intn(50))), s, m})
+	}
+	return tab
+}
+
+// TestShardsConcatenationIdentity: reading the shards' rows back in
+// shard order must reproduce the parent store value for value — the
+// invariant the engines' mergeable partial results rely on — and the
+// shard NULL bitmaps must agree with the parent bit for bit.
+func TestShardsConcatenationIdentity(t *testing.T) {
+	tab := shardedTable(t, 1000)
+	cs := tab.ColData()
+	for _, n := range []int{1, 2, 3, 4, 7, 16} {
+		shards := cs.Shards(n)
+		total := 0
+		for _, sh := range shards {
+			total += sh.NumRows()
+		}
+		if total != cs.NumRows() {
+			t.Fatalf("n=%d: shard rows sum to %d, want %d", n, total, cs.NumRows())
+		}
+		for pos := 0; pos < 3; pos++ {
+			global := 0
+			for si, sh := range shards {
+				col := sh.Col(pos)
+				for i := 0; i < sh.NumRows(); i++ {
+					want, got := cs.Col(pos).Value(global), col.Value(i)
+					if want.Compare(got) != 0 || want.IsNull() != got.IsNull() {
+						t.Fatalf("n=%d shard %d col %d row %d: %v != parent row %d %v",
+							n, si, pos, i, got, global, want)
+					}
+					if col.Nulls != nil {
+						wordBit := col.NullWords[i/vec.WordBits]&(1<<(uint(i)%vec.WordBits)) != 0
+						if wordBit != col.Nulls[i] {
+							t.Fatalf("n=%d shard %d col %d row %d: NullWords bit %v != Nulls %v",
+								n, si, pos, i, wordBit, col.Nulls[i])
+						}
+					}
+					global++
+				}
+			}
+		}
+	}
+	if got := cs.Shards(1); len(got) != 1 || got[0] != cs {
+		t.Fatal("Shards(1) must return the store itself")
+	}
+}
+
+// TestColDataShardsCachedAndInvalidated: the per-table shard cache must
+// hand back the same views until Append invalidates both the projection
+// and the shard views.
+func TestColDataShardsCachedAndInvalidated(t *testing.T) {
+	tab := shardedTable(t, 300)
+	a, b := tab.ColDataShards(4), tab.ColDataShards(4)
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Fatal("ColDataShards did not cache the views")
+	}
+	if one := tab.ColDataShards(1); len(one) != 1 || one[0] != tab.ColData() {
+		t.Fatal("ColDataShards(1) must be the monolithic projection")
+	}
+	tab.MustAppend(rel.Row{rel.Int(1), rel.String_("x"), rel.Int(1)})
+	c := tab.ColDataShards(4)
+	total := 0
+	for _, sh := range c {
+		total += sh.NumRows()
+	}
+	if total != 301 {
+		t.Fatalf("post-append shards cover %d rows, want 301", total)
+	}
+}
