@@ -16,9 +16,9 @@ BENCH_PKGS = $(shell grep -rl --include='*_test.go' 'func Benchmark' . | xargs -
 
 # The hot-path series tracked across PRs (bench-hotpath, bench-json,
 # and the committed BENCH_baseline.json regression gate).
-BENCH_HOTPATH_RE = BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel|BenchmarkWorkloadScheduler|BenchmarkExecutorJoinRows|BenchmarkShardedValidation
+BENCH_HOTPATH_RE = BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel|BenchmarkWorkloadScheduler|BenchmarkExecutorJoinRows|BenchmarkShardedValidation|BenchmarkReoptdHTTP
 
-.PHONY: all vet build test race check chaos examples bench bench-smoke bench-hotpath bench-json bench-compare bench-baseline
+.PHONY: all vet build test race check chaos examples serve-smoke bench bench-smoke bench-hotpath bench-json bench-compare bench-baseline
 
 all: check
 
@@ -49,15 +49,26 @@ check: vet build test
 
 # chaos runs the failure-isolation suite under the race detector at
 # constrained parallelism (the CI shape): the fault-injection harness,
-# the executor/core budget-and-panic tests, and the Session chaos tests
+# the executor/core budget-and-panic tests, the Session chaos tests
 # — injected panics, starvation memory budgets, admission shedding and
-# close-under-load against one shared Session, with in-test
-# goroutine-leak assertions.
+# close-under-load against one shared Session — and the reoptd daemon
+# chaos tests (cross-tenant fault isolation, handler-boundary panics,
+# kill-and-restart recovery), all with in-test goroutine-leak
+# assertions.
 chaos: vet
 	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/faultinject
 	GOMAXPROCS=2 $(GO) test -race -count=1 \
 		-run 'TestChaos|TestPanic|TestMemoryBudget|TestMemBudget|TestRunSpans' \
-		. ./internal/executor ./internal/core
+		. ./internal/executor ./internal/core ./internal/server
+
+# serve-smoke builds cmd/reoptd and drives a real daemon process across
+# its lifecycle: readiness, one reoptimize, an over-quota burst that
+# must shed at least one 429 with a Retry-After hint, then SIGTERM and
+# a clean (exit 0) drain within the grace period.
+serve-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/reoptd ./cmd/reoptd
+	$(GO) run ./cmd/servesmoke -bin bin/reoptd
 
 # bench-smoke runs every benchmark for a single iteration — a cheap
 # compile-and-execute pass that CI uses to keep the harness green.

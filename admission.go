@@ -159,6 +159,15 @@ func (a *admission) release() {
 	a.mu.Unlock()
 }
 
+// census reports how many admitted calls (light and heavy) are in
+// flight right now. Queued waiters are not counted: they hold no
+// permit yet.
+func (a *admission) census() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight
+}
+
 // close rejects all future admissions, fails every queued waiter with
 // ErrSessionClosed, and blocks until the in-flight calls drain.
 // Idempotent; concurrent closes all block until idle.

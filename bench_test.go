@@ -13,7 +13,9 @@ package reopt_test
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"runtime"
+	"sync"
 	"testing"
 
 	"reopt"
@@ -21,7 +23,9 @@ import (
 	"reopt/internal/executor"
 	"reopt/internal/experiments"
 	"reopt/internal/plan"
+	"reopt/internal/server"
 	"reopt/internal/sql"
+	"reopt/reoptclient"
 )
 
 func benchConfig() experiments.Config {
@@ -558,4 +562,57 @@ func BenchmarkWorkloadCache(b *testing.B) {
 			runAll(b, r)
 		}
 	})
+}
+
+// BenchmarkReoptdHTTP measures the daemon's serving overhead end to
+// end: a full /v1/reoptimize round trip — JSON decode, parse, the
+// admission gate, Algorithm 1 over the session, JSON encode — against
+// an in-process httptest server, so the number excludes real network
+// cost but includes everything reoptd adds on top of the library.
+// Compare with BenchmarkReoptimizeOTT to read the HTTP tax directly.
+// parallel=2 drives two concurrent clients through the shared tenant
+// session (its scheduler coalesces their validation waves).
+func BenchmarkReoptdHTTP(b *testing.B) {
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{Seed: 1, RowsPerValue: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := reopt.OTTQueries(cat, reopt.OTTQueryConfig{
+		NumTables: 5, SameConstant: 4, Count: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sqls := []string{qs[0].String(), qs[1].String()}
+	ctx := context.Background()
+	for _, par := range []int{1, 2} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			quota := server.Quota{
+				Workers: 2, MaxInFlight: 8, QueueDepth: 16,
+				MemoryBudget: 1 << 50, CacheEntries: -1, Scheduler: true,
+			}
+			srv, err := server.New(cat, server.Config{Default: &quota})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			c := reoptclient.New(ts.URL, reoptclient.WithRetries(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < par; j++ {
+					wg.Add(1)
+					go func(j int) {
+						defer wg.Done()
+						if _, err := c.Reoptimize(ctx, &reoptclient.ReoptimizeRequest{SQL: sqls[j%len(sqls)]}); err != nil {
+							b.Error(err)
+						}
+					}(j)
+				}
+				wg.Wait()
+			}
+		})
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -651,6 +652,133 @@ func TestChaosSessionClose(t *testing.T) {
 	}
 	if _, err := s.ReoptimizeWorkload(ctx, qs, 2); !errors.Is(err, reopt.ErrSessionClosed) {
 		t.Errorf("ReoptimizeWorkload after Close: err = %v, want ErrSessionClosed", err)
+	}
+	waitNoGoroutineLeak(t, base)
+}
+
+// TestChaosCloseRacesSchedulerWaveMidFlush: Close arriving while the
+// workload scheduler has a wave mid-flush — gathered, dispatched, and
+// stalled inside the shared-scan engine — must (1) reject the caller
+// still waiting in the admission queue with ErrSessionClosed, (2) let
+// every call whose work is in the stalled wave complete with results
+// byte-identical to an undisturbed run, and (3) return only after the
+// census drains, leaking no goroutine.
+func TestChaosCloseRacesSchedulerWaveMidFlush(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cat, qs := ottSession(t)
+	ctx := context.Background()
+	open := func() *reopt.Session {
+		s, err := reopt.Open(cat, reopt.WithWorkers(2),
+			reopt.WithWorkloadScheduler(0), reopt.WithMaxInFlight(2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Undisturbed reference run for the byte-identity check.
+	baseline := open()
+	var want [2][4]string
+	for i := range want {
+		res, err := baseline.Reoptimize(ctx, qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = resultKey(res)
+	}
+	baseline.Close()
+
+	s := open()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var fi faultinject.Set
+	// Stall every wave as it flushes (the two calls may or may not
+	// coalesce into one): requests are gathered, wave goroutines are
+	// live, and both requesters hold their admission slots until the
+	// gate opens.
+	var once sync.Once
+	fi.On(faultinject.Rule{Point: faultinject.SchedulerWave, Do: func(faultinject.Point, string) {
+		once.Do(func() { close(started) })
+		<-gate
+	}})
+	restore := fi.Activate()
+	defer restore()
+
+	type outcome struct {
+		res *reopt.ReoptResult
+		err error
+	}
+	inflight := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			res, err := s.Reoptimize(ctx, qs[i])
+			inflight <- outcome{res, err}
+		}(i)
+	}
+	<-started // a wave is mid-flush
+	// Wait until BOTH calls hold their admission slots (admitted calls
+	// cannot finish while their waves are stalled); only then is a third
+	// caller guaranteed to queue rather than steal a free slot.
+	admitBy := time.Now().Add(5 * time.Second)
+	for s.InFlight() < 2 {
+		if time.Now().After(admitBy) {
+			t.Fatalf("census stuck at %d with waves stalled, want 2", s.InFlight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	queued := make(chan error, 1)
+	go func() {
+		_, err := s.Reoptimize(ctx, qs[2])
+		queued <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the third call reach the admission queue
+
+	closeDone := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closeDone)
+	}()
+
+	// (1) The queued caller is rejected without ever starting work.
+	select {
+	case err := <-queued:
+		if !errors.Is(err, reopt.ErrSessionClosed) {
+			t.Fatalf("queued caller at Close: err = %v, want ErrSessionClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued caller was not rejected while the wave was stalled")
+	}
+	// Close must still be waiting on the stalled wave's requesters.
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned while a wave was mid-flush")
+	default:
+	}
+
+	// (2) Release the wave: both in-flight calls finish byte-identical.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		select {
+		case out := <-inflight:
+			if out.err != nil {
+				t.Fatalf("in-flight call under Close: %v", out.err)
+			}
+			k := resultKey(out.res)
+			if k != want[0] && k != want[1] {
+				t.Errorf("in-flight result diverged under a racing Close:\n got %v\nwant one of %v / %v",
+					k, want[0], want[1])
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("in-flight call never finished after the wave was released")
+		}
+	}
+
+	// (3) Close completes once the census drains.
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the wave drained")
 	}
 	waitNoGoroutineLeak(t, base)
 }

@@ -10,6 +10,8 @@
 //	reopt -db ott                       # a generated 5-table OTT query
 //	reopt -db ott -timeout 20ms         # budget the whole re-optimization
 //	reopt -db ott -shards 4 -workers 4  # shard each sample across workers
+//	reopt -db ott -membudget 67108864   # cap values materialized per validation
+//	reopt -db ott -maxinflight 2 -queuedepth 4  # bound concurrent session calls
 package main
 
 import (
@@ -34,15 +36,19 @@ func main() {
 		shards  = flag.Int("shards", 0, "sample shards per table for validation (<= 1 = monolithic); results are byte-identical at every setting")
 		cache   = flag.Int("cache", 0, "workload validation-cache budget in subtree entries (0 = off)")
 		timeout = flag.Duration("timeout", 0, "re-optimization time budget (0 = none); returns best-so-far on expiry")
+
+		maxInFlight = flag.Int("maxinflight", 0, "admission gate: at most this many expensive session calls run at once (0 = unlimited); excess calls queue, then shed")
+		queueDepth  = flag.Int("queuedepth", 0, "admission queue: how many calls beyond -maxinflight wait FIFO before shedding (only with -maxinflight > 0)")
+		memBudget   = flag.Int64("membudget", 0, "memory budget in values materialized per validation (0 = unlimited); breaches degrade the re-optimization to the best plan found so far")
 	)
 	flag.Parse()
-	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *shards, *cache, *timeout); err != nil {
+	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *shards, *cache, *timeout, *maxInFlight, *queueDepth, *memBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "reopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, shards, cacheEntries int, timeout time.Duration) error {
+func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, shards, cacheEntries int, timeout time.Duration, maxInFlight, queueDepth int, memBudget int64) error {
 	ctx := context.Background()
 	var cat *reopt.Catalog
 	var err error
@@ -73,6 +79,12 @@ func run(db string, z float64, seed int64, sqlText string, queryID int, analyze 
 	}
 	if cacheEntries > 0 {
 		opts = append(opts, reopt.WithSharedCache(cacheEntries))
+	}
+	if maxInFlight > 0 {
+		opts = append(opts, reopt.WithMaxInFlight(maxInFlight, queueDepth))
+	}
+	if memBudget > 0 {
+		opts = append(opts, reopt.WithMemoryBudget(memBudget))
 	}
 	s, err := reopt.Open(cat, opts...)
 	if err != nil {

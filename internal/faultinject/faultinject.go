@@ -60,6 +60,11 @@ const (
 	// Estimate fires at the head of every sampling estimate call.
 	// Tag: "groups=<n>".
 	Estimate Point = "sampling.estimate"
+	// Handler fires at the reoptd daemon's handler boundary, after
+	// tenant resolution and before any session work. Tag:
+	// "tenant=<name> endpoint=<path>", so a rule can detonate one
+	// tenant's requests and prove the blast stops at that tenant.
+	Handler Point = "server.handler"
 )
 
 // Injected is the panic value raised by PanicAt rules; chaos tests can
@@ -184,12 +189,15 @@ func (s *Set) CancelAt(p Point, tag string, cancel func()) *Rule {
 // "alloc spike" fault, for exercising memory-budget paths under load.
 func (s *Set) AllocAt(p Point, tag string, bytes int) *Rule {
 	return s.On(Rule{Point: p, Tag: tag, Do: func(Point, string) {
-		sink = make([]byte, bytes)
+		if b := make([]byte, bytes); len(b) > 0 {
+			sink.Store(&b[0])
+		}
 	}})
 }
 
-// sink keeps AllocAt's allocation from being optimized away.
-var sink []byte
+// sink keeps AllocAt's allocation from being optimized away; atomic
+// because rules fire from whichever goroutine hits the point.
+var sink atomic.Pointer[byte]
 
 // Fired reports how many times any rule action could have observed
 // point p fire (matching or not) since activation.

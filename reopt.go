@@ -44,6 +44,21 @@
 // Failures are classified by the sentinels in errors.go (ErrNoSamples,
 // ErrUnsupportedPlan, ErrBudgetExceeded) — test with errors.Is.
 //
+// # Serving over HTTP
+//
+// cmd/reoptd serves the pipeline as a multi-tenant HTTP daemon — one
+// bounded Session per tenant (admission gate, memory budget, cache and
+// scheduler quotas from a JSON config), graceful SIGTERM drain, and
+// load shedding with Retry-After hints:
+//
+//	go run ./cmd/reoptd -db ott                  # one default tenant on :8372
+//	curl -s localhost:8372/v1/reoptimize -d '{"sql":"SELECT COUNT(*) FROM r1, r2 WHERE r1.a = 0 AND r2.a = 1 AND r1.b = r2.b"}'
+//
+// Package reopt/reoptclient is the matching Go client; it retries only
+// failures that are provably not yet admitted (429/503, transport),
+// which lets a workload ride through a daemon restart. DESIGN.md §7
+// documents the status-code mapping and the drain sequence.
+//
 // See the examples/ directory for runnable programs and DESIGN.md for
 // the system inventory and the paper-experiment index.
 package reopt

@@ -1,0 +1,222 @@
+package reoptclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one reoptd daemon. The zero value is not usable;
+// create one with New. Clients are safe for concurrent use.
+//
+// Retry policy — the client retries only failures that are either
+// provably not yet admitted or transport-level on an idempotent
+// request:
+//
+//   - 429 (overloaded) and 503 (draining): the daemon shed the request
+//     at the door, before any work started. The client waits the
+//     larger of the server's Retry-After hint and its own exponential
+//     backoff, then retries.
+//   - transport errors (connection refused, reset, broken reply): the
+//     daemon may be restarting. Every /v1 endpoint is a pure,
+//     side-effect-free computation, so re-issuing is safe; the client
+//     backs off and retries, which is what lets a workload survive a
+//     kill-and-restart of the daemon.
+//
+// Every other non-200 — 400, 404, 422, 500, 504 — is returned
+// immediately as an *APIError: the request was admitted (or is
+// malformed) and would fail the same way again.
+type Client struct {
+	base    string
+	tenant  string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+}
+
+// ClientOption configures New.
+type ClientOption func(*Client)
+
+// WithTenant sets the tenant every request is issued as (the
+// X-Reopt-Tenant header). Without it, requests go to the daemon's
+// default tenant.
+func WithTenant(name string) ClientOption {
+	return func(c *Client) { c.tenant = name }
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (for custom
+// transports or test doubles). The default has no client-side timeout:
+// per-request budgets belong in the request's ctx or Timeout field.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetries bounds how many times a retriable failure is re-issued
+// (default 4; 0 disables retries entirely).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the base and cap of the exponential backoff between
+// retries (defaults 100ms base, 5s cap). The server's Retry-After hint,
+// when larger than the computed backoff, wins.
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(c *Client) { c.backoff, c.maxWait = base, max }
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080").
+func New(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		retries: 4,
+		backoff: 100 * time.Millisecond,
+		maxWait: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Reoptimize runs Algorithm 1 on one query.
+func (c *Client) Reoptimize(ctx context.Context, req *ReoptimizeRequest) (*ReoptimizeResponse, error) {
+	var out ReoptimizeResponse
+	if err := c.do(ctx, "/v1/reoptimize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Validate optimizes each query once and validates the plans' join
+// skeletons over the samples as one batch.
+func (c *Client) Validate(ctx context.Context, req *ValidateRequest) (*ValidateResponse, error) {
+	var out ValidateResponse
+	if err := c.do(ctx, "/v1/validate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Workload re-optimizes a batch of queries with bounded concurrency;
+// per-query failures surface as Items[i].Error, not as a call error.
+func (c *Client) Workload(ctx context.Context, req *WorkloadRequest) (*WorkloadResponse, error) {
+	var out WorkloadResponse
+	if err := c.do(ctx, "/v1/workload", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready reports whether the daemon is serving traffic (200 from
+// /readyz); a draining or unreachable daemon returns an error. Ready
+// never retries.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{Status: resp.StatusCode}
+	}
+	return nil
+}
+
+// do POSTs in as JSON and decodes a 200 into out, applying the retry
+// policy documented on Client.
+func (c *Client) do(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("reoptclient: encode request: %w", err)
+	}
+	wait := c.backoff
+	for attempt := 0; ; attempt++ {
+		ae, err := c.once(ctx, path, body, out)
+		if err == nil && ae == nil {
+			return nil
+		}
+		retriable := false
+		hint := time.Duration(0)
+		if ae != nil {
+			err = ae
+			retriable = ae.Status == http.StatusTooManyRequests ||
+				ae.Status == http.StatusServiceUnavailable
+			hint = ae.RetryAfter
+		} else if ctx.Err() == nil {
+			// Transport-level failure with the caller still interested:
+			// the daemon may be down or restarting.
+			retriable = true
+		}
+		if !retriable || attempt >= c.retries {
+			return err
+		}
+		d := wait
+		if hint > d {
+			d = hint
+		}
+		if d > c.maxWait {
+			d = c.maxWait
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		if wait *= 2; wait > c.maxWait {
+			wait = c.maxWait
+		}
+	}
+}
+
+// once issues a single attempt. A non-nil *APIError means the server
+// answered with a non-200; a non-nil plain error means transport
+// failure.
+func (c *Client) once(ctx context.Context, path string, body []byte, out any) (*APIError, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.tenant != "" {
+		req.Header.Set("X-Reopt-Tenant", c.tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return nil, fmt.Errorf("reoptclient: decode response: %w", err)
+		}
+		return nil, nil
+	}
+	ae := &APIError{Status: resp.StatusCode}
+	_ = json.Unmarshal(raw, &ae.Body) // best effort; body may not be JSON
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae, nil
+}

@@ -1,0 +1,205 @@
+package reoptclient_test
+
+// Retry-policy tests against scripted fake daemons: the client retries
+// exactly the failures that are provably not admitted (429, 503) or
+// transport-level, and nothing else.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reopt/reoptclient"
+)
+
+// fastClient returns a client with millisecond backoff so retry loops
+// finish instantly.
+func fastClient(base string, opts ...reoptclient.ClientOption) *reoptclient.Client {
+	return reoptclient.New(base, append([]reoptclient.ClientOption{
+		reoptclient.WithBackoff(time.Millisecond, 10*time.Millisecond),
+	}, opts...)...)
+}
+
+// script serves canned responses in order, then repeats the last one,
+// counting attempts.
+func script(t *testing.T, steps []func(w http.ResponseWriter)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(n.Add(1)) - 1
+		if i >= len(steps) {
+			i = len(steps) - 1
+		}
+		steps[i](w)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &n
+}
+
+func ok(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&reoptclient.ReoptimizeResponse{Fingerprint: "fp", Explain: "plan"})
+}
+
+func status(code int, kind string) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(&reoptclient.ErrorBody{Kind: kind})
+	}
+}
+
+// TestRetriesOverloadedAndDraining: 429 and 503 are shed-at-the-door
+// codes; the client retries through them to the eventual 200.
+func TestRetriesOverloadedAndDraining(t *testing.T) {
+	ts, n := script(t, []func(http.ResponseWriter){
+		status(http.StatusTooManyRequests, reoptclient.KindOverloaded),
+		status(http.StatusServiceUnavailable, reoptclient.KindDraining),
+		ok,
+	})
+	c := fastClient(ts.URL)
+	res, err := c.Reoptimize(context.Background(), &reoptclient.ReoptimizeRequest{SQL: "q"})
+	if err != nil {
+		t.Fatalf("retriable chain: %v", err)
+	}
+	if res.Fingerprint != "fp" {
+		t.Errorf("got %q, want the scripted response", res.Fingerprint)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+// TestDoesNotRetryAdmittedFailures: 400, 404, 422, 500 and 504 mean
+// the request was admitted (or is malformed) and would fail again —
+// exactly one attempt each, error surfaced as *APIError.
+func TestDoesNotRetryAdmittedFailures(t *testing.T) {
+	for _, tc := range []struct {
+		code int
+		kind string
+	}{
+		{http.StatusBadRequest, reoptclient.KindBadRequest},
+		{http.StatusNotFound, reoptclient.KindUnknownTenant},
+		{http.StatusUnprocessableEntity, reoptclient.KindMemoryBudget},
+		{http.StatusInternalServerError, reoptclient.KindValidationPanic},
+		{http.StatusGatewayTimeout, reoptclient.KindBudgetExhausted},
+	} {
+		ts, n := script(t, []func(http.ResponseWriter){status(tc.code, tc.kind), ok})
+		c := fastClient(ts.URL)
+		_, err := c.Reoptimize(context.Background(), &reoptclient.ReoptimizeRequest{SQL: "q"})
+		ae, okType := err.(*reoptclient.APIError)
+		if !okType {
+			t.Fatalf("code %d: err = %v, want *APIError", tc.code, err)
+		}
+		if ae.Status != tc.code || ae.Body.Kind != tc.kind {
+			t.Errorf("code %d: got %d %q", tc.code, ae.Status, ae.Body.Kind)
+		}
+		if got := n.Load(); got != 1 {
+			t.Errorf("code %d: attempts = %d, want exactly 1 (no retry)", tc.code, got)
+		}
+	}
+}
+
+// TestRetryAfterParsedFromHeader: the server's Retry-After header
+// surfaces on the APIError so callers (and the retry loop) can honor
+// it. Retries are disabled so no actual waiting happens.
+func TestRetryAfterParsedFromHeader(t *testing.T) {
+	ts, _ := script(t, []func(http.ResponseWriter){func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "7")
+		status(http.StatusTooManyRequests, reoptclient.KindOverloaded)(w)
+	}})
+	c := fastClient(ts.URL, reoptclient.WithRetries(0))
+	_, err := c.Reoptimize(context.Background(), &reoptclient.ReoptimizeRequest{SQL: "q"})
+	ae, okType := err.(*reoptclient.APIError)
+	if !okType {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if !reoptclient.IsOverloaded(err) {
+		t.Error("IsOverloaded(429) = false")
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", ae.RetryAfter)
+	}
+}
+
+// TestRetriesTransportErrors: a daemon that tears the connection down
+// mid-request (a crash) is retried — the endpoints are pure — and the
+// request completes once the daemon answers again.
+func TestRetriesTransportErrors(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= 2 {
+			hj, okType := w.(http.Hijacker)
+			if !okType {
+				t.Error("response writer is not a Hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close() // torn mid-request: the client sees a transport error
+			return
+		}
+		ok(w)
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	res, err := c.Reoptimize(context.Background(), &reoptclient.ReoptimizeRequest{SQL: "q"})
+	if err != nil {
+		t.Fatalf("through two torn connections: %v", err)
+	}
+	if res.Fingerprint != "fp" {
+		t.Errorf("got %q, want the scripted response", res.Fingerprint)
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+// TestRetryBudgetExhausts: a daemon that sheds forever eventually
+// surfaces the 429 instead of retrying unboundedly.
+func TestRetryBudgetExhausts(t *testing.T) {
+	ts, n := script(t, []func(http.ResponseWriter){
+		status(http.StatusTooManyRequests, reoptclient.KindOverloaded),
+	})
+	c := fastClient(ts.URL, reoptclient.WithRetries(3))
+	_, err := c.Reoptimize(context.Background(), &reoptclient.ReoptimizeRequest{SQL: "q"})
+	if !reoptclient.IsOverloaded(err) {
+		t.Fatalf("err = %v, want the final 429", err)
+	}
+	if got := n.Load(); got != 4 {
+		t.Errorf("attempts = %d, want 1 + 3 retries", got)
+	}
+}
+
+// TestCancelDuringBackoff: a caller abandoning the request while the
+// client waits out a backoff gets ctx.Err back promptly.
+func TestCancelDuringBackoff(t *testing.T) {
+	ts, _ := script(t, []func(http.ResponseWriter){func(w http.ResponseWriter) {
+		w.Header().Set("Retry-After", "60")
+		status(http.StatusTooManyRequests, reoptclient.KindOverloaded)(w)
+	}})
+	c := reoptclient.New(ts.URL,
+		reoptclient.WithBackoff(time.Minute, time.Minute))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Reoptimize(ctx, &reoptclient.ReoptimizeRequest{SQL: "q"})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first attempt land and backoff start
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client kept waiting out the backoff after cancellation")
+	}
+}

@@ -261,6 +261,13 @@ func (s *Session) Close() error {
 	return nil
 }
 
+// InFlight reports how many admitted calls the session is currently
+// running — the census Close drains. Calls waiting in the admission
+// queue are not counted: they hold no permit yet. Serving layers use
+// this to verify that abandoned requests (a client disconnect, a
+// cancelled ctx) release their admission slots, and to report load.
+func (s *Session) InFlight() int { return s.adm.census() }
+
 // Catalog returns the catalog the session plans against.
 func (s *Session) Catalog() *Catalog { return s.cat }
 
