@@ -18,7 +18,7 @@ BENCH_PKGS = $(shell grep -rl --include='*_test.go' 'func Benchmark' . | xargs -
 # and the committed BENCH_baseline.json regression gate).
 BENCH_HOTPATH_RE = BenchmarkSamplingEstimatePlan|BenchmarkHashJoinKeys|BenchmarkSamplingValidation|BenchmarkReoptimizeOTT|BenchmarkReoptimizeMultiSeed|BenchmarkWorkloadCache|BenchmarkSessionWorkloadParallel|BenchmarkWorkloadScheduler|BenchmarkExecutorJoinRows|BenchmarkShardedValidation|BenchmarkReoptdHTTP
 
-.PHONY: all vet build test race check chaos examples serve-smoke bench bench-smoke bench-hotpath bench-json bench-compare bench-baseline
+.PHONY: all vet build test race check lint chaos examples serve-smoke bench bench-smoke bench-hotpath bench-json bench-compare bench-baseline
 
 all: check
 
@@ -46,6 +46,15 @@ examples:
 
 # check is the tier-1 gate: vet, build, full test suite.
 check: vet build test
+
+# lint is the contract gate: go vet plus the repo's own analyzer suite
+# (cmd/reoptvet; DESIGN.md §8). reoptvet enforces the written
+# contracts — deterministic map iteration, goroutine panic
+# containment, cache hygiene on error paths, budget-vs-ctx discipline,
+# and the sentinel error taxonomy — and fails on any finding or bare
+# //reoptvet:ignore.
+lint: vet
+	$(GO) run ./cmd/reoptvet ./...
 
 # chaos runs the failure-isolation suite under the race detector at
 # constrained parallelism (the CI shape): the fault-injection harness,

@@ -1,0 +1,100 @@
+// Command reoptvet is the multichecker for the repository's contract
+// analyzers (DESIGN.md §8): it loads the packages matching its
+// argument patterns (default ./...), applies the suite from
+// internal/analysis/all, honors reasoned //reoptvet:ignore
+// directives, and exits non-zero on any finding. CI runs it next to
+// go vet as the `make lint` gate.
+//
+// Usage:
+//
+//	reoptvet [-list] [-run regexp] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+
+	"reopt/internal/analysis"
+	"reopt/internal/analysis/all"
+	"reopt/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, "."))
+}
+
+// run is the testable driver body: returns the process exit code
+// (0 clean, 1 findings, 2 usage/load failure).
+func run(args []string, stdout, stderr io.Writer, dir string) int {
+	fs := flag.NewFlagSet("reoptvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	runRe := fs.String("run", "", "run only analyzers matching this regexp")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: reoptvet [-list] [-run regexp] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := all.Analyzers()
+	if *runRe != "" {
+		re, err := regexp.Compile(*runRe)
+		if err != nil {
+			fmt.Fprintf(stderr, "reoptvet: bad -run pattern: %v\n", err)
+			return 2
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "reoptvet: %v\n", err)
+		return 2
+	}
+
+	// The directive validator accepts the full suite's names even under
+	// -run, so a focused run never misreports a valid suppression.
+	known := all.Known()
+	findings := 0
+	for _, pkg := range pkgs {
+		var diags []analysis.Diagnostic
+		for _, a := range analyzers {
+			ds, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "reoptvet: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+		for _, d := range analysis.Filter(pkg, diags, known) {
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "reoptvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reopt/internal/analysis"
+	"reopt/internal/analysis/all"
+	"reopt/internal/analysis/load"
+)
+
+// TestRepoClean is the lint gate itself: the full suite over the full
+// module must be quiet. Any new finding either gets fixed or earns a
+// reasoned //reoptvet:ignore — there is no third state.
+func TestRepoClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, &stdout, &stderr, "../..")
+	if code != 0 {
+		t.Fatalf("reoptvet ./... = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// TestRevertedFixesFailLint is the negative check: testdata/revert
+// replays three defects this PR fixed (unsorted map-key copy, %v
+// sentinel wrap, bare watcher goroutine) under the import path
+// internal/executor, and every implicated analyzer must still fire.
+// If one goes quiet, re-introducing its motivating bug would sail
+// through `make lint`.
+func TestRevertedFixesFailLint(t *testing.T) {
+	dir := filepath.Join("testdata", "revert", "src", "internal", "executor")
+	pkg, err := load.Dir(dir, "internal/executor", "../..")
+	if err != nil {
+		t.Fatalf("load revert fixture: %v", err)
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range all.Analyzers() {
+		ds, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		diags = append(diags, ds...)
+	}
+	diags = analysis.Filter(pkg, diags, all.Known())
+
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	for _, want := range []string{"mapiterorder", "errtaxonomy", "goroutinerecover"} {
+		if !fired[want] {
+			t.Errorf("%s did not flag its reverted fix; diagnostics: %v", want, describe(pkg, diags))
+		}
+	}
+}
+
+func TestListPrintsSuite(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr, "../.."); code != 0 {
+		t.Fatalf("reoptvet -list = %d, stderr: %s", code, stderr.String())
+	}
+	for _, a := range all.Analyzers() {
+		if !strings.Contains(stdout.String(), a.Name+":") {
+			t.Errorf("-list output missing %s:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+func describe(pkg *analysis.Package, diags []analysis.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, pkg.Fset.Position(d.Pos).String()+" ["+d.Analyzer+"] "+d.Message)
+	}
+	return out
+}

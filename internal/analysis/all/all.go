@@ -1,0 +1,35 @@
+// Package all registers the complete reoptvet suite — the single
+// source of truth shared by cmd/reoptvet, the smoke tests, and the
+// ignore-directive validator (which rejects directives naming an
+// analyzer that is not in this list).
+package all
+
+import (
+	"reopt/internal/analysis"
+	"reopt/internal/analysis/cachenostore"
+	"reopt/internal/analysis/ctxdiscipline"
+	"reopt/internal/analysis/errtaxonomy"
+	"reopt/internal/analysis/goroutinerecover"
+	"reopt/internal/analysis/mapiterorder"
+)
+
+// Analyzers returns the suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cachenostore.Analyzer,
+		ctxdiscipline.Analyzer,
+		errtaxonomy.Analyzer,
+		goroutinerecover.Analyzer,
+		mapiterorder.Analyzer,
+	}
+}
+
+// Known returns the analyzer-name set valid in //reoptvet:ignore
+// directives.
+func Known() map[string]bool {
+	known := map[string]bool{analysis.DirectiveAnalyzer: true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
+}

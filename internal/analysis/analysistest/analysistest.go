@@ -1,0 +1,184 @@
+// Package analysistest runs a reoptvet analyzer over fixture packages
+// and checks its diagnostics against expectations written in the
+// fixture sources — a minimal workalike of x/tools'
+// go/analysis/analysistest.
+//
+// Expectations are comments of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Each quoted pattern must match (regexp, unanchored) the message of
+// exactly one diagnostic reported on that line; every diagnostic must
+// be matched by some pattern. Ignore-directive filtering (the
+// //reoptvet:ignore escape hatch, including its malformed-directive
+// diagnostics) runs before matching, exactly as in cmd/reoptvet, so
+// fixtures exercise the suppression path too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"reopt/internal/analysis"
+	"reopt/internal/analysis/load"
+)
+
+// Run loads each fixture package at testdata/src/<pkg> (its import
+// path for scope checks is <pkg> itself, so a fixture for an analyzer
+// scoped to internal/executor lives at testdata/src/internal/executor)
+// and applies the analyzer plus ignore filtering. known is the set of
+// analyzer names considered valid in ignore directives; the analyzer
+// under test is always included.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	known := map[string]bool{a.Name: true, analysis.DirectiveAnalyzer: true}
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+		loaded, err := load.Dir(dir, pkg, moduleRoot(t))
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", pkg, err)
+		}
+		diags, err := analysis.RunAnalyzer(a, loaded)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkg, err)
+		}
+		diags = analysis.Filter(loaded, diags, known)
+		check(t, loaded, diags)
+	}
+}
+
+// Load loads one fixture package (testdata/src/<pkg>) without running
+// any analyzer — for tests that drive RunAnalyzer directly, e.g. to
+// assert an analyzer stays silent out of scope.
+func Load(t *testing.T, testdata, pkg string) *analysis.Package {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkg))
+	loaded, err := load.Dir(dir, pkg, moduleRoot(t))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkg, err)
+	}
+	return loaded
+}
+
+// moduleRoot locates the repository root (where go.mod lives) from
+// the calling test's source position, so `go list` runs in module
+// context regardless of the test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate module root")
+	}
+	// .../internal/analysis/analysistest/analysistest.go → repo root.
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+type expectation struct {
+	file     string
+	line     int
+	patterns []*regexp.Regexp
+	matched  []bool
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string]*expectation{} // "file:line" → expectation
+	for _, f := range pkg.Syntax {
+		for _, want := range parseWants(t, pkg, f) {
+			key := fmt.Sprintf("%s:%d", want.file, want.line)
+			if prev, ok := wants[key]; ok {
+				prev.patterns = append(prev.patterns, want.patterns...)
+				prev.matched = append(prev.matched, make([]bool, len(want.patterns))...)
+				continue
+			}
+			wants[key] = want
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		want, ok := wants[key]
+		matched := false
+		if ok {
+			for i, re := range want.patterns {
+				if !want.matched[i] && re.MatchString(d.Message) {
+					want.matched[i] = true
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, want := range wants {
+		for i, ok := range want.matched {
+			if !ok {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, want.patterns[i])
+			}
+		}
+	}
+}
+
+// parseWants extracts `// want "re" ...` expectations from one file.
+func parseWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			e := &expectation{file: pos.Filename, line: pos.Line}
+			for _, lit := range splitQuoted(t, pos.String(), text) {
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, lit, err)
+				}
+				e.patterns = append(e.patterns, re)
+			}
+			if len(e.patterns) == 0 {
+				t.Fatalf("%s: want comment with no patterns", pos)
+			}
+			e.matched = make([]bool, len(e.patterns))
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go-quoted or backquoted strings.
+func splitQuoted(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"', '`':
+			prefix, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				t.Fatalf("%s: malformed want pattern %q: %v", at, s, err)
+			}
+			lit, err := strconv.Unquote(prefix)
+			if err != nil {
+				t.Fatalf("%s: malformed want pattern %q: %v", at, prefix, err)
+			}
+			out = append(out, lit)
+			s = s[len(prefix):]
+		default:
+			t.Fatalf("%s: malformed want patterns at %q (expect quoted strings)", at, s)
+		}
+	}
+}

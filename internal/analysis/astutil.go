@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves a call's target to its types.Func (package-level
+// function or method), or nil for builtins, conversions, function
+// values and anything else the suite treats as opaque.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgCall reports whether call targets pkgPath.name (e.g.
+// "context".WithTimeout) for any of the given names, returning the
+// matched name.
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// IsBuiltinCall reports whether call invokes the named builtin
+// (append, recover, ...).
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// RootObj peels selectors, indexes, stars, and parens off expr and
+// returns the object of the base identifier (x in x.f[i].g), or nil.
+func RootObj(info *types.Info, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			if o := info.Uses[e]; o != nil {
+				return o
+			}
+			return info.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			// e.g. buf().Write — opaque.
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// UsesAny reports whether the subtree rooted at n mentions any of the
+// given objects.
+func UsesAny(info *types.Info, n ast.Node, objs map[types.Object]bool) bool {
+	if n == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil && objs[o] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// InScope reports whether pkgPath matches any of the scope substrings.
+// A nil scope means every package.
+func InScope(pkgPath string, scope []string) bool {
+	if scope == nil {
+		return true
+	}
+	for _, s := range scope {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedTypeName returns the name of t's core named type, peeling
+// pointers ("*SkeletonCache" → "SkeletonCache"), or "".
+func NamedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// IsErrorType reports whether t is (or implements) the error
+// interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Identical(t, errType.Underlying())
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

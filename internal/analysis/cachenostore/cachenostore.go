@@ -1,0 +1,176 @@
+// Package cachenostore enforces the cache-hygiene contract (DESIGN.md
+// §1b, §5): aborted, failed or cancelled work must never be stored in
+// a validation cache — a poisoned entry would serve wrong counts to
+// every later query and, under the shared workload cache, to every
+// other session. The analyzer flags store calls on cache-typed
+// receivers (type name containing "Cache", method Put*/Store/Add/
+// Set/Insert, case-insensitive) that are lexically inside a fired
+// error branch: the body of `if err != nil`, the else-branch of
+// `if err == nil`, a block guarded by ctx.Err(), or a
+// `case <-ctx.Done():` clause.
+package cachenostore
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"reopt/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cachenostore",
+	Doc: "no cache store may be reachable inside an err != nil / ctx.Err() / <-ctx.Done() branch: " +
+		"aborts never poison the cache (DESIGN.md §1b, §5)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkNode(pass, f, false)
+	}
+	return nil
+}
+
+// checkNode walks n; inErrPath is true while inside a branch that
+// executes only after an error/cancellation has been observed.
+func checkNode(pass *analysis.Pass, n ast.Node, inErrPath bool) {
+	switch s := n.(type) {
+	case nil:
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			checkNode(pass, s.Init, inErrPath)
+		}
+		checkNode(pass, s.Cond, inErrPath)
+		errCond := errPathCond(pass, s.Cond)
+		okCond := okPathCond(pass, s.Cond)
+		checkNode(pass, s.Body, inErrPath || errCond)
+		if s.Else != nil {
+			// The else-branch of `if err == nil` runs only on error.
+			checkNode(pass, s.Else, inErrPath || okCond)
+		}
+		return
+	case *ast.CommClause:
+		errComm := false
+		if s.Comm != nil {
+			errComm = doneRecv(pass, s.Comm)
+		}
+		for _, st := range s.Body {
+			checkNode(pass, st, inErrPath || errComm)
+		}
+		return
+	case *ast.CallExpr:
+		if inErrPath && isCacheStore(pass, s) {
+			pass.Reportf(s.Pos(), "cache store on an error/cancellation path: aborted work must never "+
+				"be cached (DESIGN.md §1b, §5)")
+		}
+	}
+	// Generic recursion preserving inErrPath.
+	walkChildren(n, func(c ast.Node) {
+		checkNode(pass, c, inErrPath)
+	})
+}
+
+// walkChildren visits n's immediate children (one level), so
+// checkNode keeps explicit control of branch state.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c == nil {
+			return false
+		}
+		visit(c)
+		return false
+	})
+}
+
+// errPathCond reports whether cond is only true once an error or
+// cancellation has been observed: `x != nil` with x an error, or
+// `ctx.Err() != nil`.
+func errPathCond(pass *analysis.Pass, cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return false
+	}
+	return errNilCompare(pass, b)
+}
+
+// okPathCond reports whether cond being false implies an error was
+// observed: `x == nil` with x an error.
+func okPathCond(pass *analysis.Pass, cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return false
+	}
+	return errNilCompare(pass, b)
+}
+
+// errNilCompare reports whether one side of b is error-typed and the
+// other is nil.
+func errNilCompare(pass *analysis.Pass, b *ast.BinaryExpr) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	errSide := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && analysis.IsErrorType(tv.Type)
+	}
+	return (isNil(b.X) && errSide(b.Y)) || (isNil(b.Y) && errSide(b.X))
+}
+
+// doneRecv reports whether comm receives from a context's Done
+// channel (`case <-ctx.Done():`, with or without assignment).
+func doneRecv(pass *analysis.Pass, comm ast.Stmt) bool {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	if expr == nil {
+		return false
+	}
+	u, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(u.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsContextType(tv.Type)
+}
+
+// isCacheStore reports whether call stores into a cache: a method
+// named like a store on a receiver whose named type contains "Cache".
+func isCacheStore(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := strings.ToLower(sel.Sel.Name)
+	storeName := name == "store" || name == "add" || name == "set" || name == "insert" ||
+		strings.HasPrefix(name, "put") || strings.HasPrefix(name, "store")
+	if !storeName {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return strings.Contains(analysis.NamedTypeName(tv.Type), "Cache")
+}

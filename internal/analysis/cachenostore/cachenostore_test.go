@@ -1,0 +1,12 @@
+package cachenostore_test
+
+import (
+	"testing"
+
+	"reopt/internal/analysis/analysistest"
+	"reopt/internal/analysis/cachenostore"
+)
+
+func TestCacheNoStore(t *testing.T) {
+	analysistest.Run(t, "testdata", cachenostore.Analyzer, "app")
+}

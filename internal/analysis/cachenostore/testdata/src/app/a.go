@@ -1,0 +1,78 @@
+// Fixture for the cachenostore analyzer: stores reachable only after
+// an error or cancellation has been observed (flagged), ordinary
+// success-path stores, and the reasoned ignore.
+package app
+
+import "context"
+
+type ResultCache struct{ m map[string]int }
+
+func (c *ResultCache) Put(k string, v int)      { c.m[k] = v }
+func (c *ResultCache) Store(k string, v int)    { c.m[k] = v }
+func (c *ResultCache) Get(k string) (int, bool) { v, ok := c.m[k]; return v, ok }
+
+// Stats is not a cache type; its Add must not be confused with a
+// store into validation state.
+type Stats struct{ n int }
+
+func (s *Stats) Add(d int) { s.n += d }
+
+func compute() (int, error) { return 0, nil }
+
+func storeOnErrorBranch(c *ResultCache) {
+	v, err := compute()
+	if err != nil {
+		c.Put("k", v) // want `cache store on an error/cancellation path`
+		return
+	}
+	c.Put("k", v)
+}
+
+func storeOnElseOfOk(c *ResultCache) {
+	v, err := compute()
+	if err == nil {
+		c.Put("k", v)
+	} else {
+		c.Store("k", v) // want `cache store on an error/cancellation path`
+	}
+}
+
+func storeNestedInErrBranch(c *ResultCache, deep bool) {
+	_, err := compute()
+	if err != nil {
+		if deep {
+			c.Put("k", 0) // want `cache store on an error/cancellation path`
+		}
+	}
+}
+
+func storeAfterCtxErr(ctx context.Context, c *ResultCache) {
+	if ctx.Err() != nil {
+		c.Put("k", 1) // want `cache store on an error/cancellation path`
+	}
+	c.Put("k", 2)
+}
+
+func storeInDoneCase(ctx context.Context, c *ResultCache, vals <-chan int) {
+	select {
+	case v := <-vals:
+		c.Put("k", v)
+	case <-ctx.Done():
+		c.Put("k", 0) // want `cache store on an error/cancellation path`
+	}
+}
+
+func statsOnErrIsFine(s *Stats) {
+	_, err := compute()
+	if err != nil {
+		s.Add(1) // not a cache: failure accounting is expected here
+	}
+}
+
+func storeIgnored(c *ResultCache) {
+	_, err := compute()
+	if err != nil {
+		//reoptvet:ignore cachenostore negative-result caching: the error is terminal for this key and recomputing is wasted work
+		c.Put("k", -1)
+	}
+}

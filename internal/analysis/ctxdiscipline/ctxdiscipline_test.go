@@ -1,0 +1,12 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"reopt/internal/analysis/analysistest"
+	"reopt/internal/analysis/ctxdiscipline"
+)
+
+func TestCtxDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxdiscipline.Analyzer, "internal/server", "app")
+}

@@ -1,0 +1,30 @@
+// Fixture for ctxdiscipline check (1): deadline construction is
+// forbidden in the serving layer — budgets ride reopt.WithTimeout.
+package server
+
+import (
+	"context"
+	"time"
+)
+
+func handler(ctx context.Context, d time.Duration) {
+	tctx, cancel := context.WithTimeout(ctx, d) // want `context.WithTimeout in the serving layer`
+	defer cancel()
+	_ = tctx
+
+	dctx, cancel2 := context.WithDeadline(ctx, time.Unix(0, 0)) // want `context.WithDeadline in the serving layer`
+	defer cancel2()
+	_ = dctx
+
+	// Plain cancellation is the ctx's actual job.
+	cctx, cancel3 := context.WithCancel(ctx)
+	defer cancel3()
+	_ = cctx
+}
+
+func probe(ctx context.Context, d time.Duration) {
+	//reoptvet:ignore ctxdiscipline health-probe budget is not a request budget; there is no §5.4 result to degrade to
+	pctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	_ = pctx
+}

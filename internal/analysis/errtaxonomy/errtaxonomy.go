@@ -1,0 +1,138 @@
+// Package errtaxonomy enforces the sentinel error taxonomy (DESIGN.md
+// §5): callers classify failures with errors.Is against the root
+// sentinels (ErrOverloaded, ErrMemoryBudget, ...), which only works if
+// (1) nobody compares sentinels with == / != — wrapped errors would
+// silently stop matching — and (2) errors leaving the engine packages
+// stay classifiable: fmt.Errorf must carry %w and function-scope
+// errors.New (which no errors.Is can ever match) is forbidden there.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"reopt/internal/analysis"
+)
+
+// WrapScope limits check (2) to the packages whose errors cross the
+// public boundary; nil means every package.
+var WrapScope = []string{"internal/executor", "internal/sampling", "internal/core"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "sentinel errors (Err*) must be matched with errors.Is, never == / != / switch-case; " +
+		"errors leaving internal/{executor,sampling,core} must wrap a sentinel with %w (DESIGN.md §5)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkComparisons(pass)
+	if analysis.InScope(pass.PkgPath, WrapScope) {
+		checkWrapping(pass)
+	}
+	return nil
+}
+
+// isSentinel reports whether e resolves to a package-level error
+// variable named Err<Upper>.
+func isSentinel(pass *analysis.Pass, e ast.Expr) bool {
+	obj := analysis.RootObj(pass.TypesInfo, e)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	if !analysis.IsErrorType(v.Type()) {
+		return false
+	}
+	rest, ok := strings.CutPrefix(v.Name(), "Err")
+	if !ok || rest == "" {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(rest)
+	return unicode.IsUpper(r)
+}
+
+func checkComparisons(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.BinaryExpr:
+				if s.Op != token.EQL && s.Op != token.NEQ {
+					return true
+				}
+				if isSentinel(pass, s.X) || isSentinel(pass, s.Y) {
+					pass.Reportf(s.Pos(), "sentinel compared with "+s.Op.String()+": wrapped errors will not "+
+						"match; use errors.Is (DESIGN.md §5)")
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrFoo: } is == in disguise.
+				if s.Tag == nil {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[s.Tag]
+				if !ok || !analysis.IsErrorType(tv.Type) {
+					return true
+				}
+				for _, c := range s.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if isSentinel(pass, e) {
+							pass.Reportf(e.Pos(), "sentinel in switch-case compares with ==: wrapped errors "+
+								"will not match; use errors.Is (DESIGN.md §5)")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkWrapping flags, inside function bodies only (package-level
+// `var ErrX = errors.New(...)` IS the taxonomy), errors.New and
+// %w-less fmt.Errorf.
+func checkWrapping(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, ok := analysis.IsPkgCall(pass.TypesInfo, call, "errors", "New"); ok {
+					pass.Reportf(call.Pos(), "function-scope errors.New creates an error no errors.Is can "+
+						"classify; wrap a sentinel with fmt.Errorf(...%w...) (DESIGN.md §5)")
+					return true
+				}
+				if _, ok := analysis.IsPkgCall(pass.TypesInfo, call, "fmt", "Errorf"); ok && len(call.Args) > 0 {
+					if lit := stringLit(pass, call.Args[0]); lit != "" && !strings.Contains(lit, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %w breaks the sentinel chain across the "+
+							"package boundary; wrap the cause or a sentinel (DESIGN.md §5)")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// stringLit returns the constant string value of e, or "".
+func stringLit(pass *analysis.Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}

@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"reopt/internal/analysis/analysistest"
+	"reopt/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, "testdata", errtaxonomy.Analyzer, "app", "internal/executor")
+}

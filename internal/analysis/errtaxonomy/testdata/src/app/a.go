@@ -1,0 +1,55 @@
+// Fixture for errtaxonomy check (1): sentinel comparisons must go
+// through errors.Is so wrapped errors still classify. This package is
+// outside the wrap scope, so errors.New/fmt.Errorf here are free.
+package app
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrOverloaded = errors.New("app: overloaded")
+
+// notASentinel: lowercase package var does not participate in the
+// public taxonomy and direct comparison is tolerated.
+var errInternal = errors.New("app: internal")
+
+func load() error { return fmt.Errorf("load: %w", ErrOverloaded) }
+
+func compareEq() bool {
+	err := load()
+	return err == ErrOverloaded // want `sentinel compared with ==`
+}
+
+func compareNeq() bool {
+	err := load()
+	return err != ErrOverloaded // want `sentinel compared with !=`
+}
+
+func compareSwitch() string {
+	err := load()
+	switch err {
+	case nil:
+		return "ok"
+	case ErrOverloaded: // want `sentinel in switch-case compares with ==`
+		return "shed"
+	default:
+		return "other"
+	}
+}
+
+func compareIs() bool {
+	err := load()
+	return errors.Is(err, ErrOverloaded)
+}
+
+func nilCheckIsFine() bool {
+	err := load()
+	return err == nil || errInternal != nil
+}
+
+func compareIgnored() bool {
+	err := load()
+	//reoptvet:ignore errtaxonomy err is the stored identity from this very map, never a wrapped chain
+	return err == ErrOverloaded
+}

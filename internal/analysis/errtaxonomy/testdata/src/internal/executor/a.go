@@ -1,0 +1,33 @@
+// Fixture for errtaxonomy check (2): errors created inside functions
+// of a wrap-scope package must carry a sentinel via %w. Package-level
+// errors.New declares the sentinels themselves and is exempt.
+package executor
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrUnsupportedPlan = errors.New("executor: unsupported plan")
+
+func bareNew() error {
+	return errors.New("executor: cannot resolve predicate") // want `function-scope errors.New`
+}
+
+func errorfNoWrap(op string) error {
+	return fmt.Errorf("executor: bad operator %s", op) // want `fmt.Errorf without %w`
+}
+
+func errorfWrapped(op string) error {
+	return fmt.Errorf("executor: bad operator %s: %w", op, ErrUnsupportedPlan)
+}
+
+func errorfDynamic(format, op string) error {
+	// Non-constant format strings cannot be judged and are left alone.
+	return fmt.Errorf(format, op)
+}
+
+func newIgnored() error {
+	//reoptvet:ignore errtaxonomy assertion failure on an internal invariant; no caller branches on it and wrapping a sentinel would invite them to
+	return errors.New("executor: impossible state")
+}

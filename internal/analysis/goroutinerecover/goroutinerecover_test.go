@@ -1,0 +1,31 @@
+package goroutinerecover_test
+
+import (
+	"testing"
+
+	"reopt/internal/analysis"
+	"reopt/internal/analysis/analysistest"
+	"reopt/internal/analysis/goroutinerecover"
+)
+
+func TestGoroutineRecover(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinerecover.Analyzer, "internal/executor")
+}
+
+// TestOutOfScope proves the analyzer confines itself to the packages
+// the §5 contract names: the same fixture, analyzed under a scope
+// that does not match it, reports nothing.
+func TestOutOfScope(t *testing.T) {
+	prev := goroutinerecover.Scope
+	goroutinerecover.Scope = []string{"some/other/tree"}
+	defer func() { goroutinerecover.Scope = prev }()
+
+	pkg := analysistest.Load(t, "testdata", "internal/executor")
+	diags, err := analysis.RunAnalyzer(goroutinerecover.Analyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package still produced %d diagnostic(s): %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//reoptvet:ignore <analyzer> <reason...>
+//
+// suppresses diagnostics from the named analyzer on the directive's
+// own line (trailing comment) or on the next line (standalone comment
+// above the flagged statement). The reason is mandatory — a directive
+// without one is itself a diagnostic, so the tree can never
+// accumulate bare suppressions — and the analyzer name must belong to
+// the suite, so a typo cannot silently suppress nothing.
+const ignorePrefix = "//reoptvet:ignore"
+
+// DirectiveAnalyzer is the pseudo-analyzer name attributed to
+// malformed-directive diagnostics emitted by Filter.
+const DirectiveAnalyzer = "reoptvet"
+
+type directive struct {
+	pos      token.Pos
+	line     int
+	analyzer string
+	reason   string
+	bad      string // non-empty: why the directive is malformed
+}
+
+// parseDirectives scans one file's comments for ignore directives.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			d := directive{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.bad = "missing analyzer name and reason"
+			case len(fields) == 1:
+				d.analyzer = fields[0]
+				d.bad = "missing reason (suppressions must say why)"
+			default:
+				d.analyzer = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			if d.bad == "" && known != nil && !known[d.analyzer] {
+				d.bad = fmt.Sprintf("unknown analyzer %q", d.analyzer)
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Filter applies ignore directives to a package's diagnostics: a
+// diagnostic from analyzer A on line L is dropped when a well-formed
+// directive naming A sits on line L or line L-1 of the same file.
+// Malformed directives (no reason, unknown analyzer) are converted
+// into diagnostics of their own, attributed to DirectiveAnalyzer, so
+// `make lint` fails on bare suppressions. known lists the analyzer
+// names that make a directive well-formed; the returned slice is
+// sorted by position.
+func Filter(pkg *Package, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	// fileKey → line → analyzer names suppressed there.
+	type lineKey struct {
+		file string
+		line int
+	}
+	suppress := map[lineKey]map[string]bool{}
+	var out []Diagnostic
+	for _, f := range pkg.Syntax {
+		for _, d := range parseDirectives(pkg.Fset, f, known) {
+			if d.bad != "" {
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Message:  "malformed " + ignorePrefix + " directive: " + d.bad,
+					Analyzer: DirectiveAnalyzer,
+				})
+				continue
+			}
+			file := pkg.Fset.Position(d.pos).Filename
+			for _, line := range []int{d.line, d.line + 1} {
+				k := lineKey{file, line}
+				if suppress[k] == nil {
+					suppress[k] = map[string]bool{}
+				}
+				suppress[k][d.analyzer] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if s := suppress[lineKey{p.Filename, p.Line}]; s != nil && s[d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// Filter needs only positions and comments, so these tests parse
+// sources in memory — no type information, no fixture tree. The
+// malformed-directive cases live here rather than in analysistest
+// fixtures because a `// want` annotation appended to a directive
+// comment would parse as part of its reason and make it well-formed.
+
+var knownTest = map[string]bool{"alpha": true, "beta": true}
+
+func parseOne(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{PkgPath: "p", Fset: fset, Syntax: []*ast.File{f}}
+}
+
+// diagAtLine fabricates a diagnostic positioned at the start of the
+// given 1-based line of the package's single file.
+func diagAtLine(pkg *Package, line int, analyzer string) Diagnostic {
+	file := pkg.Fset.File(pkg.Syntax[0].Pos())
+	return Diagnostic{Pos: file.LineStart(line), Message: "m", Analyzer: analyzer}
+}
+
+func TestFilterSuppressesSameLineAndNextLine(t *testing.T) {
+	pkg := parseOne(t, `package p
+
+func f() {
+	_ = 1 //reoptvet:ignore alpha trailing directives cover their own line
+	//reoptvet:ignore alpha standalone directives cover the line below
+	_ = 2
+}
+`)
+	diags := []Diagnostic{
+		diagAtLine(pkg, 4, "alpha"), // same line as trailing directive
+		diagAtLine(pkg, 6, "alpha"), // line after standalone directive
+	}
+	if got := Filter(pkg, diags, knownTest); len(got) != 0 {
+		t.Fatalf("want all suppressed, got %v", got)
+	}
+}
+
+func TestFilterSuppressesOnlyNamedAnalyzer(t *testing.T) {
+	pkg := parseOne(t, `package p
+
+func f() {
+	//reoptvet:ignore alpha only alpha is being waved through here
+	_ = 1
+}
+`)
+	diags := []Diagnostic{
+		diagAtLine(pkg, 5, "alpha"),
+		diagAtLine(pkg, 5, "beta"),
+	}
+	got := Filter(pkg, diags, knownTest)
+	if len(got) != 1 || got[0].Analyzer != "beta" {
+		t.Fatalf("want beta to survive, got %v", got)
+	}
+}
+
+func TestFilterDoesNotReachPastNextLine(t *testing.T) {
+	pkg := parseOne(t, `package p
+
+func f() {
+	//reoptvet:ignore alpha coverage stops at the adjacent line
+	_ = 1
+	_ = 2
+}
+`)
+	diags := []Diagnostic{diagAtLine(pkg, 6, "alpha")}
+	if got := Filter(pkg, diags, knownTest); len(got) != 1 {
+		t.Fatalf("want line-6 diagnostic to survive, got %v", got)
+	}
+}
+
+func TestFilterMissingReasonIsMalformedAndSuppressesNothing(t *testing.T) {
+	pkg := parseOne(t, `package p
+
+func f() {
+	//reoptvet:ignore alpha
+	_ = 1
+}
+`)
+	diags := []Diagnostic{diagAtLine(pkg, 5, "alpha")}
+	got := Filter(pkg, diags, knownTest)
+	if len(got) != 2 {
+		t.Fatalf("want original + malformed diagnostic, got %v", got)
+	}
+	var sawMalformed, sawOriginal bool
+	for _, d := range got {
+		if d.Analyzer == DirectiveAnalyzer && strings.Contains(d.Message, "missing reason") {
+			sawMalformed = true
+		}
+		if d.Analyzer == "alpha" {
+			sawOriginal = true
+		}
+	}
+	if !sawMalformed || !sawOriginal {
+		t.Fatalf("want malformed directive reported and original kept, got %v", got)
+	}
+}
+
+func TestFilterBareDirectiveIsMalformed(t *testing.T) {
+	pkg := parseOne(t, `package p
+
+//reoptvet:ignore
+func f() {}
+`)
+	got := Filter(pkg, nil, knownTest)
+	if len(got) != 1 || got[0].Analyzer != DirectiveAnalyzer ||
+		!strings.Contains(got[0].Message, "missing analyzer name") {
+		t.Fatalf("want one malformed-directive diagnostic, got %v", got)
+	}
+}
+
+func TestFilterUnknownAnalyzerIsMalformedAndSuppressesNothing(t *testing.T) {
+	pkg := parseOne(t, `package p
+
+func f() {
+	//reoptvet:ignore alhpa a typo must not become a silent no-op
+	_ = 1
+}
+`)
+	diags := []Diagnostic{diagAtLine(pkg, 5, "alpha")}
+	got := Filter(pkg, diags, knownTest)
+	if len(got) != 2 {
+		t.Fatalf("want original + malformed diagnostic, got %v", got)
+	}
+	var sawUnknown bool
+	for _, d := range got {
+		if d.Analyzer == DirectiveAnalyzer && strings.Contains(d.Message, `unknown analyzer "alhpa"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown {
+		t.Fatalf("want unknown-analyzer diagnostic, got %v", got)
+	}
+}
+
+func TestFilterNilKnownSkipsNameValidation(t *testing.T) {
+	pkg := parseOne(t, `package p
+
+func f() {
+	//reoptvet:ignore anything with nil known the name is not checked
+	_ = 1
+}
+`)
+	diags := []Diagnostic{diagAtLine(pkg, 5, "anything")}
+	if got := Filter(pkg, diags, nil); len(got) != 0 {
+		t.Fatalf("want suppression under nil known, got %v", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package load typechecks Go packages for the reoptvet analyzers
+// without golang.org/x/tools/go/packages (this module builds
+// offline with no external dependencies).
+//
+// Strategy: `go list -export -deps -json <patterns>` makes the go
+// tool compile every listed package and its transitive dependencies
+// into the build cache and report each one's export-data file. The
+// target packages (those matching the patterns) are then parsed and
+// typechecked from source with go/types, while every import —
+// stdlib or in-module — is satisfied from export data through the
+// stdlib gc importer. That keeps a whole-module analysis run at
+// roughly the cost of an incremental build.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"reopt/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses and typechecks the packages matching
+// patterns (e.g. "./...") relative to dir. Test files are not
+// included: the contracts the suite enforces govern production code,
+// and several tests violate them on purpose (injected panics, raw
+// sentinel identity assertions).
+func Packages(dir string, patterns ...string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Incomplete,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var targets []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			pc := p
+			targets = append(targets, &pc)
+		}
+	}
+	return typecheck(targets, exports)
+}
+
+// Dir loads a single package from the .go files directly inside dir
+// (the analysistest fixture case). pkgPath becomes the package's
+// import path for scope checks; imports are resolved by a `go list
+// -export` pass over the union of the files' import specs, run from
+// runDir (the module root, so in-module fixture imports would also
+// resolve — in practice fixtures import only stdlib).
+func Dir(dir, pkgPath, runDir string) (*analysis.Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	target := &listPackage{ImportPath: pkgPath, Dir: dir, GoFiles: files}
+
+	// Parse once (cheaply, imports only) to learn the dependency set.
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			if path, err := importPathOf(imp); err == nil && path != "unsafe" {
+				imports[path] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export,DepOnly"}, paths...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = runDir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list %v: %v\n%s", paths, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	pkgs, err := typecheck([]*listPackage{target}, exports)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+func importPathOf(imp *ast.ImportSpec) (string, error) {
+	return string(imp.Path.Value[1 : len(imp.Path.Value)-1]), nil
+}
+
+// typecheck parses and checks each target from source, importing
+// dependencies from export data. One FileSet and one importer are
+// shared across targets so dependency package objects unify (e.g.
+// context.Context is the same *types.Named everywhere).
+func typecheck(targets []*listPackage, exports map[string]string) ([]*analysis.Package, error) {
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*analysis.Package
+	for _, t := range targets {
+		var syntax []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			syntax = append(syntax, f)
+		}
+		if len(syntax) == 0 {
+			continue
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, syntax, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &analysis.Package{
+			PkgPath:   t.ImportPath,
+			Fset:      fset,
+			Syntax:    syntax,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}

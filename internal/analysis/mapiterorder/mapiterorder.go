@@ -1,0 +1,228 @@
+// Package mapiterorder enforces the determinism contract (DESIGN.md
+// §2, §6): Δ/Γ, cache contents and HTTP responses must be
+// byte-identical run to run, so nothing order-sensitive may be
+// accumulated in Go's randomized map iteration order. The analyzer
+// flags `for ... range m` over a map when the body, using the
+// iteration variables, appends to a slice, writes to a hasher or
+// io.Writer, or concatenates onto a string that outlives the loop —
+// unless the accumulated slice is sorted afterwards in the same
+// function (the collect-keys-then-sort idiom), or the write is keyed
+// by the iteration key itself (a per-key merge, which is
+// order-insensitive).
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"reopt/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiterorder",
+	Doc: "order-sensitive accumulation (append/hash/string-concat) inside map iteration " +
+		"breaks byte-identical Δ/Γ/cache/HTTP output; sort keys first (DESIGN.md §2)",
+	Run: run,
+}
+
+// writerMethods are methods whose call order determines the
+// receiver's accumulated state.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+// fmtWriters are fmt functions whose first argument accumulates.
+var fmtWriters = map[string]bool{"Fprintf": true, "Fprint": true, "Fprintln": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Each function (decl or literal) is inspected independently so
+		// the sorted-afterwards check has a body to search.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rng, fnBody)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	loopVars := map[types.Object]bool{}
+	var keyObj types.Object
+	for i, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if o := pass.TypesInfo.Defs[id]; o != nil {
+				loopVars[o] = true
+				if i == 0 {
+					keyObj = o
+				}
+			} else if o := pass.TypesInfo.Uses[id]; o != nil {
+				// `for k = range m` over a pre-declared variable.
+				loopVars[o] = true
+				if i == 0 {
+					keyObj = o
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		// Pure counting (`for range m`) is order-insensitive.
+		return
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, s, rng, fnBody, loopVars, keyObj)
+		case *ast.CallExpr:
+			checkCall(pass, s, rng, loopVars)
+		}
+		return true
+	})
+}
+
+// checkAssign flags `dst = append(dst, ...loop vars...)` and
+// `s += <loop vars>` string concatenation when dst/s outlive the loop.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, rng *ast.RangeStmt, fnBody *ast.BlockStmt, loopVars map[types.Object]bool, keyObj types.Object) {
+	// String concatenation: s += expr, s outliving the loop.
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if tv, ok := pass.TypesInfo.Types[as.Lhs[0]]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				dst := analysis.RootObj(pass.TypesInfo, as.Lhs[0])
+				if outlives(dst, rng) && analysis.UsesAny(pass.TypesInfo, as.Rhs[0], loopVars) {
+					pass.Reportf(as.Pos(), "string built in map iteration order is nondeterministic; "+
+						"iterate sorted keys instead (DESIGN.md §2)")
+				}
+			}
+		}
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !analysis.IsBuiltinCall(pass.TypesInfo, call, "append") || len(call.Args) < 2 || i >= len(as.Lhs) {
+			continue
+		}
+		// Appended values must derive from the iteration for the order
+		// to matter (appending a constant per entry is just counting).
+		tainted := false
+		for _, arg := range call.Args[1:] {
+			if analysis.UsesAny(pass.TypesInfo, arg, loopVars) {
+				tainted = true
+			}
+		}
+		if !tainted {
+			continue
+		}
+		lhs := ast.Unparen(as.Lhs[i])
+		// Per-key merge: m2[k] = append(m2[k], ...) visits each key
+		// once, so iteration order cannot reorder any single bucket.
+		if idx, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+			if o := analysis.RootObj(pass.TypesInfo, idx.Index); o == keyObj {
+				continue
+			}
+		}
+		dst := analysis.RootObj(pass.TypesInfo, lhs)
+		if !outlives(dst, rng) {
+			continue
+		}
+		if sortedAfter(pass, fnBody, rng, dst) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append in map iteration order is nondeterministic and the result is "+
+			"never sorted; sort before use (DESIGN.md §2)")
+	}
+}
+
+// checkCall flags hash/writer accumulation with loop-derived values
+// onto a receiver that outlives the loop.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt, loopVars map[types.Object]bool) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn := analysis.Callee(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtWriters[fn.Name()] {
+			if len(call.Args) > 0 {
+				w := analysis.RootObj(pass.TypesInfo, call.Args[0])
+				if outlives(w, rng) && analysis.UsesAny(pass.TypesInfo, call, loopVars) {
+					pass.Reportf(call.Pos(), "fmt."+fn.Name()+" in map iteration order produces nondeterministic "+
+						"output; iterate sorted keys (DESIGN.md §2)")
+				}
+			}
+			return
+		}
+		if writerMethods[sel.Sel.Name] {
+			recv := analysis.RootObj(pass.TypesInfo, sel.X)
+			if outlives(recv, rng) && analysis.UsesAny(pass.TypesInfo, call, loopVars) {
+				pass.Reportf(call.Pos(), sel.Sel.Name+" in map iteration order feeds a hash/stream "+
+					"nondeterministically; iterate sorted keys (DESIGN.md §2)")
+			}
+		}
+	}
+}
+
+// outlives reports whether obj is declared outside the range body (a
+// per-iteration local cannot carry order across iterations).
+func outlives(obj types.Object, rng *ast.RangeStmt) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Body.Pos() || obj.Pos() >= rng.Body.End()
+}
+
+// sortedAfter reports whether dst is passed to a sort.*/slices.Sort*
+// call after the range statement within the enclosing function — the
+// deterministic collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, dst types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if analysis.UsesAny(pass.TypesInfo, arg, map[types.Object]bool{dst: true}) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

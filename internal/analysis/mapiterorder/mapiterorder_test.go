@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"reopt/internal/analysis/analysistest"
+	"reopt/internal/analysis/mapiterorder"
+)
+
+func TestMapIterOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiterorder.Analyzer, "app")
+}

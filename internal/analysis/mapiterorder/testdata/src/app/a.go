@@ -1,0 +1,116 @@
+// Fixture for the mapiterorder analyzer: order-sensitive
+// accumulation in map iteration order (flagged), the deterministic
+// idioms (collect-then-sort, per-key merge, per-iteration state,
+// commutative folds), and the reasoned ignore.
+package app
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append in map iteration order`
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysSortedSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func hashUnsorted(m map[string]string) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want `Write in map iteration order`
+	}
+	return h.Sum64()
+}
+
+func perKeyHash(m map[string]string) map[string]uint64 {
+	out := map[string]uint64{}
+	for k, v := range m {
+		h := fnv.New64a()
+		h.Write([]byte(v)) // per-iteration hasher: deterministic per key
+		out[k] = h.Sum64()
+	}
+	return out
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string built in map iteration order`
+	}
+	return s
+}
+
+func buildString(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `WriteString in map iteration order`
+	}
+}
+
+func respond(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf in map iteration order`
+	}
+}
+
+func mergePerKey(dst, src map[string][]int) {
+	for k, vs := range src {
+		dst[k] = append(dst[k], vs...) // per-key merge: order-insensitive
+	}
+}
+
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // commutative fold
+	}
+	return n
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // no iteration variables at all
+	}
+	return n
+}
+
+func appendConstant(m map[string]int) []int {
+	var out []int
+	for range m {
+		out = append(out, 0) // appended value independent of the entry
+	}
+	return out
+}
+
+func ignored(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//reoptvet:ignore mapiterorder caller re-sorts canonically before any hash or output
+		out = append(out, k)
+	}
+	return out
+}

@@ -108,7 +108,9 @@ func (r *Reoptimizer) ReoptimizeMultiSeedCtx(ctx context.Context, q *sql.Query, 
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: multi-seed re-optimization produced no result")
+		// Reachable only when the budget stopped the seeds loop before
+		// the first seed completed, so classify it as such.
+		return nil, fmt.Errorf("core: multi-seed re-optimization produced no result: %w", ErrBudgetExceeded)
 	}
 	return best, nil
 }

@@ -131,7 +131,7 @@ func orderAndLimit(p *plan.Plan, res *Result, opts Options) error {
 		for i, k := range q.OrderBy {
 			j, err := schema.IndexOf(k.Col.Table, k.Col.Column)
 			if err != nil {
-				return fmt.Errorf("executor: ORDER BY %s: %v", k.Col, err)
+				return fmt.Errorf("executor: ORDER BY %s: %w", k.Col, err)
 			}
 			idx[i] = j
 		}
@@ -187,7 +187,7 @@ func projector(p *plan.Plan) (func(rel.Row) rel.Row, error) {
 	for i, c := range q.Projection {
 		j, err := schema.IndexOf(c.Table, c.Column)
 		if err != nil {
-			return nil, fmt.Errorf("executor: projection %s: %v", c, err)
+			return nil, fmt.Errorf("executor: projection %s: %w", c, err)
 		}
 		idx[i] = j
 	}
@@ -437,7 +437,7 @@ func predIdx(left, right *rel.Schema, preds []sql.JoinPred) (lidx, ridx []int, e
 			l, lerr = left.IndexOf(p.Right.Table, p.Right.Column)
 			r, rerr = right.IndexOf(p.Left.Table, p.Left.Column)
 			if lerr != nil || rerr != nil {
-				return nil, nil, fmt.Errorf("executor: cannot resolve join predicate %s", p)
+				return nil, nil, fmt.Errorf("executor: cannot resolve join predicate %s: %w", p, ErrUnsupportedPlan)
 			}
 		}
 		lidx = append(lidx, l)
@@ -763,7 +763,7 @@ func (ex *executor) buildAggregate(a *plan.AggregateNode) (iterator, error) {
 	for i, c := range a.GroupBy {
 		j, err := schema.IndexOf(c.Table, c.Column)
 		if err != nil {
-			return nil, fmt.Errorf("executor: GROUP BY %s: %v", c, err)
+			return nil, fmt.Errorf("executor: GROUP BY %s: %w", c, err)
 		}
 		idx[i] = j
 	}
@@ -840,7 +840,7 @@ type indexNLIter struct {
 func (ex *executor) buildIndexNL(j *plan.JoinNode, left iterator, lidx, ridx []int) (iterator, error) {
 	inner, ok := j.Right.(*plan.ScanNode)
 	if !ok {
-		return nil, fmt.Errorf("executor: index nested-loop inner must be a base relation")
+		return nil, fmt.Errorf("executor: index nested-loop inner must be a base relation: %w", ErrUnsupportedPlan)
 	}
 	t, err := ex.opts.Binder(inner.Table)
 	if err != nil {

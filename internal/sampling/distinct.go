@@ -20,6 +20,7 @@ import (
 // the error ratio of any sampling-based distinct estimator.
 func EstimateDistinct(sample []rel.Value, q float64) (float64, error) {
 	if q <= 0 || q > 1 {
+		//reoptvet:ignore errtaxonomy caller-contract violation reported eagerly; no sentinel classifies programmer error and callers must not branch on it
 		return 0, fmt.Errorf("sampling: fraction %v out of (0,1]", q)
 	}
 	counts := make(map[rel.ValueKey]int)

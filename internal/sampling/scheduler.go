@@ -326,6 +326,22 @@ func (s *Scheduler) abandon(req *schedRequest) {
 // than crashing the process (waves often run on scheduler-owned
 // goroutines with no caller underneath).
 func (s *Scheduler) run(batch []*schedRequest) {
+	// Boundary recover for the scheduler-owned goroutine (§5): a panic
+	// outside runWave — group assembly, merged-context plumbing, result
+	// delivery — must fail this wave's requesters, not the process.
+	// done channels are buffered(1), so the non-blocking send skips any
+	// requester already answered before the panic.
+	defer func() {
+		if r := recover(); r != nil {
+			err := executor.NewPanicError(r)
+			for _, req := range batch {
+				select {
+				case req.done <- schedResult{err: err}:
+				default:
+				}
+			}
+		}
+	}()
 	if len(batch) == 0 {
 		return
 	}
@@ -400,6 +416,17 @@ func mergedContext(batch []*schedRequest) (context.Context, func()) {
 	left.Store(int32(len(dones)))
 	for _, d := range dones {
 		go func(d <-chan struct{}) {
+			// Contained per the §5 goroutine contract. The body is
+			// select+atomic and cannot panic short of runtime
+			// corruption; if it somehow does, cancelling the wave is
+			// the fail-safe direction (the wave aborts, requesters get
+			// their own termination causes) — crashing the process is
+			// not.
+			defer func() {
+				if r := recover(); r != nil {
+					cancel()
+				}
+			}()
 			select {
 			case <-d:
 				if left.Add(-1) == 0 {

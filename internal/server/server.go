@@ -246,16 +246,29 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	done := make(chan struct{})
 	go func() {
+		// Contained per the §5 goroutine contract: a panic out of a
+		// tenant's Close must degrade this drain, not crash a daemon
+		// that is mid-handoff with in-flight requests still writing.
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				s.logf("reoptd: drain: panic closing sessions: %v", r)
+			}
+		}()
 		var wg sync.WaitGroup
 		for _, t := range s.tenants {
 			wg.Add(1)
 			go func(t *tenant) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						s.logf("reoptd: drain: tenant close panicked: %v", r)
+					}
+				}()
 				t.sess.Close()
 			}(t)
 		}
 		wg.Wait()
-		close(done)
 	}()
 	select {
 	case <-done:
@@ -436,8 +449,14 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // withTimeout applies a request-level timeout (0 = none) to ctx.
+// Used ONLY by /v1/validate: validation is all-or-nothing — there is
+// no §5.4 best-so-far result to degrade to — so its budget and its
+// abort signal are legitimately the same thing. The reoptimize and
+// workload handlers must keep mapping timeouts onto reopt.WithTimeout
+// instead (the ctxdiscipline analyzer holds that line).
 func withTimeout(ctx context.Context, d reoptclient.Duration) (context.Context, context.CancelFunc) {
 	if d > 0 {
+		//reoptvet:ignore ctxdiscipline /v1/validate has no best-so-far path to protect; its timeout is all-or-nothing and so may ride the disconnect signal (DESIGN.md §7)
 		return context.WithTimeout(ctx, time.Duration(d))
 	}
 	return context.WithCancel(ctx)

@@ -7,6 +7,7 @@ package storage
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"reopt/internal/rel"
@@ -161,12 +162,15 @@ func (t *Table) CreateIndex(column string) (*Index, error) {
 // Index returns the index on the named column, or nil.
 func (t *Table) Index(column string) *Index { return t.indexes[column] }
 
-// Indexes returns the names of all indexed columns.
+// Indexes returns the names of all indexed columns, sorted — callers
+// feed these into plan enumeration, and map order would make plan
+// choice (and therefore Γ traces) run-dependent.
 func (t *Table) Indexes() []string {
 	out := make([]string, 0, len(t.indexes))
 	for name := range t.indexes {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -59,6 +59,16 @@
 // which lets a workload ride through a daemon restart. DESIGN.md §7
 // documents the status-code mapping and the drain sequence.
 //
+// # Development workflow
+//
+// make check is the tier-1 gate (vet, build, tests); make lint runs
+// go vet plus cmd/reoptvet, the repo's own analyzer suite that
+// enforces the written contracts — deterministic map iteration,
+// goroutine panic containment, cache hygiene on error paths,
+// budget-vs-ctx discipline, and the sentinel taxonomy (DESIGN.md §8).
+// make race and make chaos cover the concurrency and
+// failure-isolation suites. CI runs all four.
+//
 // See the examples/ directory for runnable programs and DESIGN.md for
 // the system inventory and the paper-experiment index.
 package reopt
