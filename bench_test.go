@@ -13,6 +13,7 @@ package reopt_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -466,6 +467,101 @@ func BenchmarkWorkloadScheduler(b *testing.B) {
 				}
 				if sched && waves > 0 {
 					b.ReportMetric(float64(reqs)/float64(waves), "req/wave")
+				}
+			})
+		}
+	}
+}
+
+// templateBenchQueries replays parametrized traffic: three query
+// templates over the OTT tables whose only varying part is a range
+// constant, instantiated arrivals times with Zipf-skewed constants and
+// Zipf-skewed template choice — the production shape template sharing
+// targets, where a handful of templates dominate and most instances
+// differ only in their constants. Constants stay selective (the loosest
+// is ~1/4 of the domain) so the sample scans they guard dominate the
+// joins above them.
+func templateBenchQueries(b *testing.B, cat *reopt.Catalog, arrivals int) []*reopt.Query {
+	b.Helper()
+	// Anchor constants sit outside every range constant's reach, so the
+	// joins are empty — the paper's OTT queries are empty by
+	// construction too — and the validated work is the scans.
+	templates := []string{
+		"SELECT COUNT(*) FROM r1, r2, r3 WHERE r1.a BETWEEN 1 AND %d AND r1.b BETWEEN 1 AND %d AND r2.a = 350 AND r3.a = 310 AND r1.b = r2.b AND r2.b = r3.b",
+		"SELECT COUNT(*) FROM r1, r2, r3 WHERE r2.a BETWEEN 1 AND %d AND r2.b BETWEEN 1 AND %d AND r1.a = 390 AND r3.a = 310 AND r1.b = r2.b AND r2.b = r3.b",
+		"SELECT COUNT(*) FROM r1, r3, r4 WHERE r3.a BETWEEN 1 AND %d AND r3.b BETWEEN 1 AND %d AND r1.a = 390 AND r4.a = 27 AND r1.b = r3.b AND r3.b = r4.b",
+	}
+	rng := rand.New(rand.NewSource(11))
+	consts := rand.NewZipf(rng, 1.07, 1.0, 38)                     // constant skew: few constants dominate
+	tmpls := rand.NewZipf(rng, 1.4, 1.0, uint64(len(templates)-1)) // template skew
+	qs := make([]*reopt.Query, arrivals)
+	for i := range qs {
+		k := 2 + int(consts.Uint64()) // range constant k in [2, 40]
+		q, err := reopt.Parse(fmt.Sprintf(templates[tmpls.Uint64()], k, k), cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// BenchmarkTemplateWorkload measures template-aware shared validation
+// on Zipf-skewed parametrized traffic (templateBenchQueries). Both
+// configurations run the workload scheduler over a shared WorkloadCache
+// — so exact-constant repeats replay cached counts either way — and
+// differ only in WithTemplateSharing. "off" validates every distinct
+// constant with its own scans; "on" groups a wave's same-template
+// instances behind one union scan refined per constant, and refines
+// near-miss constants from the cache's template index instead of
+// rescanning. Results are byte-identical in every cell; at
+// parallelism=1 waves are single requests so only the cache-index reuse
+// applies, and at parallelism >= 2 the in-wave union sharing comes on
+// top. tmplhit/op reports template-index hits per iteration.
+func BenchmarkTemplateWorkload(b *testing.B) {
+	// A denser sample than the micro-benchmarks': template sharing
+	// trades scan work for refinement work, so the benchmark needs the
+	// scans (which scale with the sample) to dominate the fixed
+	// per-query optimizer cost (which does not).
+	cat, err := reopt.GenerateOTT(reopt.OTTConfig{
+		Seed: 1, NumTables: 4, RowsPerValue: 720,
+		Domains: []int{400, 360, 320, 28}, SampleRatio: 1.0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := templateBenchQueries(b, cat, 32)
+	ctx := context.Background()
+	for _, sharing := range []bool{false, true} {
+		for _, par := range benchParallelisms() {
+			mode := "off"
+			if sharing {
+				mode = "on"
+			}
+			b.Run(fmt.Sprintf("templates=%s/parallel=%d", mode, par), func(b *testing.B) {
+				b.ReportAllocs()
+				var hits int64
+				for i := 0; i < b.N; i++ {
+					opts := []reopt.SessionOption{
+						reopt.WithWorkers(2),
+						reopt.WithSharedCache(1024),
+						reopt.WithWorkloadScheduler(0),
+					}
+					if sharing {
+						opts = append(opts, reopt.WithTemplateSharing())
+					}
+					s, err := reopt.Open(cat, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.ReoptimizeWorkload(ctx, qs, par); err != nil {
+						b.Fatal(err)
+					}
+					h, _ := s.TemplateStats()
+					hits += h
+				}
+				if sharing {
+					b.ReportMetric(float64(hits)/float64(b.N), "tmplhit/op")
 				}
 			})
 		}

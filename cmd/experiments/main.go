@@ -48,6 +48,7 @@ func main() {
 		cacheSize  = flag.Int("cache", 0, "workload validation-cache budget in subtree entries (0 = off)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); cancels in-flight work on expiry")
 		seed       = flag.Int64("seed", 42, "random seed")
+		templates  = flag.Bool("templates", false, "share validation scans between query instances of the same template; results are byte-identical at either setting")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 		Workers:              *workers,
 		SampleShards:         *shards,
 		WorkloadCacheEntries: *cacheSize,
+		TemplateSharing:      *templates,
 		Seed:                 *seed,
 	}
 	ctx := context.Background()

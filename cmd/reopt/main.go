@@ -40,15 +40,16 @@ func main() {
 		maxInFlight = flag.Int("maxinflight", 0, "admission gate: at most this many expensive session calls run at once (0 = unlimited); excess calls queue, then shed")
 		queueDepth  = flag.Int("queuedepth", 0, "admission queue: how many calls beyond -maxinflight wait FIFO before shedding (only with -maxinflight > 0)")
 		memBudget   = flag.Int64("membudget", 0, "memory budget in values materialized per validation (0 = unlimited); breaches degrade the re-optimization to the best plan found so far")
+		templates   = flag.Bool("templates", false, "share validation scans between query instances of the same template (constants stripped); results are byte-identical at either setting")
 	)
 	flag.Parse()
-	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *shards, *cache, *timeout, *maxInFlight, *queueDepth, *memBudget); err != nil {
+	if err := run(*db, *z, *seed, *sqlText, *queryID, *analyze, *workers, *shards, *cache, *timeout, *maxInFlight, *queueDepth, *memBudget, *templates); err != nil {
 		fmt.Fprintln(os.Stderr, "reopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, shards, cacheEntries int, timeout time.Duration, maxInFlight, queueDepth int, memBudget int64) error {
+func run(db string, z float64, seed int64, sqlText string, queryID int, analyze bool, workers, shards, cacheEntries int, timeout time.Duration, maxInFlight, queueDepth int, memBudget int64, templates bool) error {
 	ctx := context.Background()
 	var cat *reopt.Catalog
 	var err error
@@ -85,6 +86,9 @@ func run(db string, z float64, seed int64, sqlText string, queryID int, analyze 
 	}
 	if memBudget > 0 {
 		opts = append(opts, reopt.WithMemoryBudget(memBudget))
+	}
+	if templates {
+		opts = append(opts, reopt.WithTemplateSharing())
 	}
 	s, err := reopt.Open(cat, opts...)
 	if err != nil {

@@ -3,9 +3,11 @@
 // CI cannot with in-process tests alone — true process boundary, true
 // SIGTERM. It starts the daemon against the OTT catalog with a
 // one-slot admission quota, waits for readiness, issues a reoptimize,
-// fires an over-quota burst and asserts at least one 429 carrying a
-// Retry-After hint, then SIGTERMs the process and asserts a clean
-// (exit 0) drain within the grace period.
+// sends a parametrized template burst (one query template, descending
+// range constants) through /v1/workload and asserts every instance is
+// answered, fires an over-quota burst and asserts at least one 429
+// carrying a Retry-After hint, then SIGTERMs the process and asserts a
+// clean (exit 0) drain within the grace period.
 //
 // Usage:
 //
@@ -29,11 +31,19 @@ import (
 	"reopt/reoptclient"
 )
 
-// smokeSQL is a 5-way OTT join: heavy enough (tens of milliseconds of
-// validation) that the burst's requests genuinely overlap even on a
-// small runner — a trivial query can serialize through a one-slot gate
-// without ever colliding, and then nothing sheds.
+// smokeSQL is a 5-way OTT join: a representative multi-join
+// re-optimization for the serial step, and the warmup that populates
+// the daemon's caches before the bursts.
 const smokeSQL = "SELECT COUNT(*) FROM r1, r2, r3, r4, r5 WHERE r1.a = 0 AND r2.a = 0 AND r3.a = 0 AND r4.a = 0 AND r5.a = 1 AND r1.b = r2.b AND r2.b = r3.b AND r3.b = r4.b AND r4.b = r5.b"
+
+// burstSQL is the over-quota burst's payload: a full-range three-way
+// join whose validation materializes a multi-million-row join output
+// (~tens of milliseconds at -rows 600), with the r3 bound parametrized
+// so every request is fresh work. No cache layer can absorb it — the
+// template index shares scans, not joins, and each distinct bound
+// changes the join fingerprint — so concurrent requests dependably
+// overlap on the one-slot gate instead of serializing through it.
+const burstSQL = "SELECT COUNT(*) FROM r1, r2, r3 WHERE r1.a BETWEEN 1 AND 120 AND r2.a BETWEEN 1 AND 100 AND r3.a BETWEEN 1 AND %d AND r1.b = r2.b AND r2.b = r3.b"
 
 // smokeConfig pins the default tenant to one admission slot with no
 // queue, so an over-quota burst must shed: the smoke test's 429 is a
@@ -44,9 +54,21 @@ const smokeConfig = `{
     "max_in_flight": 1,
     "queue_depth": 0,
     "cache_entries": -1,
-    "scheduler": true
+    "scheduler": true,
+    "template_sharing": true
   }
 }`
+
+// templateSQL is the parametrized shape of production traffic: one
+// query template instantiated with many constants. The descending
+// range constants make every later instance refinable from the first
+// (loosest) one's cached template scan, so the burst exercises the
+// template index end to end through the daemon.
+const templateSQL = "SELECT COUNT(*) FROM r1, r2, r3 WHERE r1.a < %d AND r2.a = 1 AND r1.b = r2.b AND r2.b = r3.b"
+
+// templateConstants instantiates templateSQL, loosest first (r1's
+// domain is 120 at the generator defaults reoptd -db ott uses).
+var templateConstants = []int{60, 45, 30, 20, 12, 6}
 
 func main() {
 	bin := flag.String("bin", "", "path to the reoptd binary (required)")
@@ -85,7 +107,10 @@ func run(bin string, grace time.Duration) error {
 		return err
 	}
 
-	cmd := exec.Command(bin, "-db", "ott", "-listen", addr, "-config", cfgPath)
+	// -rows 600 scales the OTT tables 10x over the generator default so
+	// every validation does real scan work; the 429 step needs request
+	// latencies comfortably above goroutine-scheduling jitter.
+	cmd := exec.Command(bin, "-db", "ott", "-rows", "600", "-listen", addr, "-config", cfgPath)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -123,20 +148,55 @@ func run(bin string, grace time.Duration) error {
 	}
 	fmt.Printf("servesmoke: reoptimized (%d rounds, converged=%v)\n", res.Rounds, res.Converged)
 
-	// 3. Over-quota burst: with one slot and no queue, concurrent
-	// requests must shed with 429 + Retry-After. The burst retries a
-	// few times in case the first volley serializes by accident.
+	// 3. Parametrized burst: one /v1/workload call carrying the same
+	// template with varying constants — the quota's one admission slot
+	// covers the whole call, so every instance must come back answered
+	// (a Result with a plan, never an Error slot) while the session's
+	// template index shares the validation scans behind them.
+	wreq := &reoptclient.WorkloadRequest{Parallelism: 1}
+	for _, k := range templateConstants {
+		wreq.SQL = append(wreq.SQL, fmt.Sprintf(templateSQL, k))
+	}
+	wres, err := c.Workload(ctx, wreq)
+	if err != nil {
+		return fmt.Errorf("template workload: %w", err)
+	}
+	if len(wres.Items) != len(wreq.SQL) {
+		return fmt.Errorf("template workload: %d items for %d queries", len(wres.Items), len(wreq.SQL))
+	}
+	for i, item := range wres.Items {
+		if item.Error != nil {
+			return fmt.Errorf("template workload: instance %d (constant %d) failed: %s: %s",
+				i, templateConstants[i], item.Error.Kind, item.Error.Message)
+		}
+		if item.Result == nil || item.Result.Fingerprint == "" {
+			return fmt.Errorf("template workload: instance %d (constant %d) returned no plan",
+				i, templateConstants[i])
+		}
+	}
+	fmt.Printf("servesmoke: template burst answered %d/%d parametrized instances\n",
+		len(wres.Items), len(wreq.SQL))
+
+	// 4. Over-quota burst: with one slot and no queue, concurrent
+	// requests must shed with 429 + Retry-After. Every request carries
+	// a distinct range bound (see burstSQL) so no cache layer can
+	// answer it instantly, and a start barrier releases the volley
+	// together so arrival stagger stays far below request latency; the
+	// burst still retries in case a volley serializes by accident.
 	shed := 0
 	for attempt := 0; attempt < 5 && shed == 0; attempt++ {
 		var (
-			wg sync.WaitGroup
-			mu sync.Mutex
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			start = make(chan struct{})
 		)
 		for i := 0; i < 8; i++ {
 			wg.Add(1)
-			go func() {
+			go func(bound int) {
 				defer wg.Done()
-				_, err := c.Reoptimize(ctx, &reoptclient.ReoptimizeRequest{SQL: smokeSQL})
+				sql := fmt.Sprintf(burstSQL, bound)
+				<-start
+				_, err := c.Reoptimize(ctx, &reoptclient.ReoptimizeRequest{SQL: sql})
 				if reoptclient.IsOverloaded(err) {
 					ae, _ := err.(*reoptclient.APIError)
 					mu.Lock()
@@ -147,8 +207,9 @@ func run(bin string, grace time.Duration) error {
 					}
 					shed++
 				}
-			}()
+			}(80 - (attempt*8 + i))
 		}
+		close(start)
 		wg.Wait()
 	}
 	if shed == 0 {
@@ -156,7 +217,7 @@ func run(bin string, grace time.Duration) error {
 	}
 	fmt.Printf("servesmoke: burst shed %d request(s) with 429 + Retry-After\n", shed)
 
-	// 4. SIGTERM: the daemon must flip readiness, drain, and exit 0
+	// 5. SIGTERM: the daemon must flip readiness, drain, and exit 0
 	// within the grace period.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signal: %w", err)

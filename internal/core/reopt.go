@@ -106,6 +106,14 @@ type Options struct {
 	// a Validator enforces its own budget (the workload scheduler's
 	// SetMemBudget).
 	MemBudget int64
+	// TemplateSharing shares sample scans between query instances of
+	// the same constant-stripped template (one union scan per template
+	// within a validation batch, refined per constant) and indexes
+	// cached scans by template so near-miss constants reuse them.
+	// Estimates are byte-identical at either setting. Only the direct
+	// validation path applies it; a Validator carries its own setting
+	// (the workload scheduler's SetTemplates).
+	TemplateSharing bool
 }
 
 // Validator abstracts the engine the round loop submits candidate-plan
@@ -449,6 +457,7 @@ func (r *Reoptimizer) validatePlans(ctx context.Context, plans []*plan.Plan, cac
 		Workers:   r.Opts.Workers,
 		Shards:    r.Opts.SampleShards,
 		MemBudget: r.Opts.MemBudget,
+		Templates: r.Opts.TemplateSharing,
 	})
 }
 

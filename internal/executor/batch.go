@@ -143,7 +143,7 @@ func CountSkeletonBatchCfg(ctx context.Context, bplans []BatchPlan, binder func(
 		perPlan = make([]error, len(bplans))
 		for i, bp := range bplans {
 			c, cerr := CountSkeletonCfg(ctx, bp.Plan, binder, bp.Cache,
-				SkelConfig{Workers: 1, Shards: cfg.Shards, MemBudget: cfg.MemBudget})
+				SkelConfig{Workers: 1, Shards: cfg.Shards, MemBudget: cfg.MemBudget, Templates: cfg.Templates})
 			if cerr != nil {
 				if errors.Is(cerr, ErrSkeletonUnsupported) ||
 					errors.Is(cerr, ErrMemoryBudget) ||
@@ -229,7 +229,7 @@ func CountSkeletonBatchCfg(ctx context.Context, bplans []BatchPlan, binder func(
 			faultinject.Fire(faultinject.Wave, tag)
 		}
 		if w == 0 {
-			err = runScanWave(ctx, live, binder, workers, cfg.Shards)
+			err = runScanWave(ctx, live, binder, workers, cfg.Shards, cfg.Templates)
 		} else {
 			err = runJoinWave(ctx, live, workers, cfg.Shards)
 		}
@@ -320,6 +320,13 @@ type batchTask struct {
 	lkey      []int
 	rkey      []int
 	gather    []gatherSrc
+
+	// Template sharing (scan tasks, SkelConfig.Templates only): the
+	// constant-stripped template of the scan, and the shared-scan group
+	// the task rides in its wave, if any (nil = solo execution).
+	tmpl   scanTemplate
+	tmplOK bool
+	group  *scanGroup
 
 	sub *subResult // the result, once the task's wave has run
 
@@ -668,25 +675,169 @@ type passCacheKey struct {
 	shard  int
 }
 
+// scanGroup is one wave's shared scan over the instances of one
+// template (SkelConfig.Templates): the members' constant vectors union
+// into the loosest instance, the group scans the sample once with that
+// union selection, and each member refines per-constant over the
+// materialized rows — cheap bitmap passes over gathered filter columns
+// instead of per-member sample scans. Containment per conjunct
+// guarantees every member's rows survive the union scan, so refined
+// results are byte-identical to solo execution.
+type scanGroup struct {
+	tmpl    scanTemplate // first member's template (canonical bookkeeping)
+	consts  []rel.Value  // union (loosest) constant vector across members
+	members []*batchTask
+	shards  []groupShard
+	ok      bool // union fold has succeeded so far
+}
+
+// groupShard is the per-shard scratch of one shared template scan; the
+// group-level counterpart of scanShard, plus the filter columns
+// gathered at the union selection that member refinement evaluates.
+type groupShard struct {
+	cs     *storage.ColStore
+	nrows  int
+	passes []scanPass
+	bm, fb *vec.Bitmap
+	spans  []span
+	cnts   []int
+	usel   []int32
+	fcols  []*storage.ColData
+}
+
+// failAll attributes a shared-scan failure to every member: the union
+// scan is joint work no single member can be blamed for, so a panic in
+// it fails exactly the queries riding the template — and nothing else.
+func (g *scanGroup) failAll(cp *capturedPanic) {
+	for _, t := range g.members {
+		t.failWith(cp)
+	}
+}
+
+// failed reports whether the group's shared scan failed. Group units
+// fail every member, and members run no other units before refinement,
+// so the first member's state is the group's.
+func (g *scanGroup) failed() bool { return g.members[0].failedPanic() != nil }
+
+// formScanGroups groups a wave's templated cache-missed tasks by
+// template — fingerprint-bucketed, every bucket hit collision-checked
+// against the full signature — and folds each group's constants into
+// the union instance, in task creation order (deterministic at every
+// worker and shard count). Only groups of two or more instances whose
+// EVERY conjunct unions execute a shared scan: an un-unionable conjunct
+// (equality templates with distinct constants) would widen the shared
+// scan toward the whole sample, so those members stay solo.
+func formScanGroups(work []*batchTask) []*scanGroup {
+	buckets := map[uint64][]*scanGroup{}
+	var groups []*scanGroup
+	for _, t := range work {
+		if !t.tmplOK {
+			continue
+		}
+		var g *scanGroup
+		for _, c := range buckets[t.tmpl.fp] {
+			if c.tmpl.sig == t.tmpl.sig {
+				g = c
+				break
+			}
+		}
+		if g == nil {
+			g = &scanGroup{tmpl: t.tmpl, consts: t.tmpl.consts, members: []*batchTask{t}, ok: true}
+			buckets[t.tmpl.fp] = append(buckets[t.tmpl.fp], g)
+			groups = append(groups, g)
+			continue
+		}
+		g.members = append(g.members, t)
+		if g.ok {
+			g.consts, g.ok = unionConsts(g.tmpl.ops, g.consts, t.tmpl.consts)
+		}
+	}
+	live := groups[:0]
+	for _, g := range groups {
+		if !g.ok || len(g.members) < 2 {
+			continue
+		}
+		for _, t := range g.members {
+			t.group = g
+		}
+		live = append(live, g)
+	}
+	return live
+}
+
+// templateLookup probes every requester cache's template index for a
+// containing instance of the task's template and, on a hit, serves the
+// task by refinement: the derived sub-result is stored under every
+// requester's exact key (repeats of this constant then hit outright),
+// exactly as if the task had been computed fresh.
+func (t *batchTask) templateLookup() bool {
+	for i := range t.crefs {
+		tc, ok := t.crefs[i].cache.getTemplate(t.tmpl)
+		if !ok {
+			continue
+		}
+		sub := refineCachedTemplate(tc, t.tmpl, t.scan.Filters, t.primaryKey(), t.refs)
+		if sub == nil {
+			continue
+		}
+		t.sub = sub
+		t.storeSub(sub, -1)
+		return true
+	}
+	return false
+}
+
+// storeTemplate registers the task's computed scan in every requester
+// cache's template index: the filter columns are gathered once at the
+// final selection (per shard, at the merged offsets — the same bytes a
+// monolithic gather would produce) and shared across the caches.
+func (t *batchTask) storeTemplate() {
+	if len(t.crefs) == 0 {
+		return
+	}
+	fcols := make([]*storage.ColData, len(t.tmpl.fpos))
+	for j, pos := range t.tmpl.fpos {
+		dst := newTemplateCol(t.shards[0].cs.Col(pos), t.selTotal)
+		for si := range t.shards {
+			sh := &t.shards[si]
+			gatherTemplateCol(dst, sh.cs.Col(pos), sh.sel, 0, len(sh.sel), sh.off)
+		}
+		fcols[j] = dst
+	}
+	for i := range t.crefs {
+		cr := &t.crefs[i]
+		cr.cache.putTemplate(cr.key, t.tmpl, t.sub, fcols)
+	}
+}
+
 // runScanWave executes all leaf-scan tasks of the batch: sequential
-// setup (cache probes, binding, one-time filter compilation), then
-// three combined parallel phases — filter bitmaps, selection-vector
-// materialization, boundary-column gathers — each a single span list
-// over every pending task's shards. With shards > 1 each sample scan
-// becomes per-shard work items whose outputs land at precomputed
-// offsets of the merged columns (the shard-order merge, done in place),
-// so the wave fans out across workers even when one sample alone is too
-// small to split; shard identity never reaches sub-results or cache
-// keys. A ctx abort between or during phases returns before the final
-// stage, so nothing partial reaches any cache.
-func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*storage.Table, error), workers, shards int) error {
+// setup (cache probes, binding, one-time filter compilation, template
+// grouping), then the combined parallel phases — filter bitmaps,
+// selection-vector materialization, then (for template groups) filter-
+// column gathers and per-member refinement, and finally boundary-column
+// gathers — each a single span list over every pending task's shards.
+// With shards > 1 each sample scan becomes per-shard work items whose
+// outputs land at precomputed offsets of the merged columns (the
+// shard-order merge, done in place), so the wave fans out across
+// workers even when one sample alone is too small to split; shard
+// identity never reaches sub-results or cache keys. With templates on,
+// tasks sharing a template run one union scan per group and refine
+// per-constant (scanGroup); results are byte-identical either way. A
+// ctx abort between or during phases returns before the final stage,
+// so nothing partial reaches any cache.
+func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*storage.Table, error), workers, shards int, templates bool) error {
 	passCache := map[passCacheKey][]scanPass{}
 	var pending []*batchTask
-	total := 0
 	for _, t := range tasks {
 		if sub := t.lookupSub(); sub != nil {
 			t.sub = sub
 			continue
+		}
+		if templates {
+			t.tmpl, t.tmplOK = scanTemplateOf(t.scan, t.refs, t.filterPos)
+			if t.tmplOK && t.templateLookup() {
+				continue
+			}
 		}
 		tab, err := binder(t.scan.Table)
 		if err != nil {
@@ -703,29 +854,72 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 			sh := &t.shards[si]
 			sh.cs = cs
 			sh.nrows = cs.NumRows()
-			for fi, f := range t.scan.Filters {
-				pk := passCacheKey{t.scan.Table, f.String(), si}
-				ps, ok := passCache[pk]
-				if !ok {
-					ps = appendFilterPasses(nil, cs.Col(t.filterPos[fi]), f)
-					passCache[pk] = ps
-				}
-				sh.passes = append(sh.passes, ps...)
-			}
-			total += sh.nrows
 		}
 		pending = append(pending, t)
 	}
 	if len(pending) == 0 {
 		return nil
 	}
+	var groups []*scanGroup
+	if templates {
+		groups = formScanGroups(pending)
+	}
+
+	// Compile filter passes: per solo task (each conjunct cached per
+	// (table, predicate, shard) across the batch) and per group (the
+	// union conjuncts, canonical order). Group members compile nothing
+	// here — their conjuncts run in refinement, over gathered columns.
+	total := 0
+	for _, t := range pending {
+		if t.group != nil {
+			continue
+		}
+		for si := range t.shards {
+			sh := &t.shards[si]
+			for fi, f := range t.scan.Filters {
+				pk := passCacheKey{t.scan.Table, f.String(), si}
+				ps, ok := passCache[pk]
+				if !ok {
+					ps = appendFilterPasses(nil, sh.cs.Col(t.filterPos[fi]), f)
+					passCache[pk] = ps
+				}
+				sh.passes = append(sh.passes, ps...)
+			}
+			total += sh.nrows
+		}
+	}
+	for _, g := range groups {
+		m0 := g.members[0]
+		ufilters := g.tmpl.instanceFilters(m0.scan.Filters, g.consts)
+		g.shards = make([]groupShard, len(m0.shards))
+		for si := range m0.shards {
+			gsh := &g.shards[si]
+			gsh.cs = m0.shards[si].cs
+			gsh.nrows = m0.shards[si].nrows
+			for ci, f := range ufilters {
+				pk := passCacheKey{m0.scan.Table, f.String(), si}
+				ps, ok := passCache[pk]
+				if !ok {
+					ps = appendFilterPasses(nil, gsh.cs.Col(g.tmpl.fpos[g.tmpl.fcol[ci]]), f)
+					passCache[pk] = ps
+				}
+				gsh.passes = append(gsh.passes, ps...)
+			}
+			total += gsh.nrows
+		}
+	}
 	chunk := adaptiveChunk(total, workers)
 
 	// Phase 1: filter passes over every shard's rows, one combined span
 	// list. Identity scans (no filters) fill their selection vector
-	// directly. Per-span counts feed the offsets below.
+	// directly; template groups run their union passes as shared units
+	// whose failure fails every member. Per-span counts feed the offsets
+	// below.
 	var units []workUnit
 	for _, t := range pending {
+		if t.group != nil {
+			continue
+		}
 		t := t
 		for si := range t.shards {
 			si, sh := si, &t.shards[si]
@@ -770,6 +964,34 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 			}
 		}
 	}
+	for _, g := range groups {
+		g := g
+		for si := range g.shards {
+			si, gsh := si, &g.shards[si]
+			gsh.spans = chunkSpans(gsh.nrows, chunk)
+			gsh.bm = vec.NewBitmap(gsh.nrows)
+			if len(gsh.passes) > 1 {
+				gsh.fb = vec.NewBitmap(gsh.nrows)
+			}
+			gsh.cnts = make([]int, len(gsh.spans))
+			for spi := range gsh.spans {
+				spi := spi
+				units = append(units, workUnit{fail: g.failAll, run: func() {
+					if faultinject.Active() {
+						faultinject.Fire(faultinject.TemplateUnit, g.tmpl.sig)
+						faultinject.Fire(faultinject.ShardUnit, fmt.Sprintf("%s#shard=%d", g.tmpl.sig, si))
+					}
+					s := gsh.spans[spi]
+					gsh.passes[0](gsh.bm, s.lo, s.hi)
+					for _, pass := range gsh.passes[1:] {
+						pass(gsh.fb, s.lo, s.hi)
+						gsh.bm.And(gsh.fb, s.lo, s.hi)
+					}
+					gsh.cnts[spi] = gsh.bm.Count(s.lo, s.hi)
+				}})
+			}
+		}
+	}
 	if err := runPool(ctx, workers, units); err != nil {
 		return err
 	}
@@ -778,9 +1000,10 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 	// disjoint ranges at precomputed offsets so each shard's selection
 	// is in ascending row order regardless of completion order. Tasks
 	// failed in phase 1 are skipped: their bitmaps may be partial.
+	// Groups materialize the union selection the same way.
 	units = units[:0]
 	for _, t := range pending {
-		if t.failedPanic() != nil {
+		if t.failedPanic() != nil || t.group != nil {
 			continue
 		}
 		t := t
@@ -804,6 +1027,88 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 				units = append(units, workUnit{fail: t.failWith, run: func() {
 					s := sh.spans[spi]
 					sh.bm.AppendIndices(sh.sel[off:off:off+cnt], s.lo, s.hi)
+				}})
+			}
+		}
+	}
+	for _, g := range groups {
+		if g.failed() {
+			continue
+		}
+		g := g
+		for si := range g.shards {
+			gsh := &g.shards[si]
+			totalSel := 0
+			offs := make([]int, len(gsh.spans))
+			for spi, c := range gsh.cnts {
+				offs[spi] = totalSel
+				totalSel += c
+			}
+			gsh.usel = make([]int32, totalSel)
+			for spi := range gsh.spans {
+				if gsh.cnts[spi] == 0 {
+					continue
+				}
+				spi, off, cnt := spi, offs[spi], gsh.cnts[spi]
+				units = append(units, workUnit{fail: g.failAll, run: func() {
+					s := gsh.spans[spi]
+					gsh.bm.AppendIndices(gsh.usel[off:off:off+cnt], s.lo, s.hi)
+				}})
+			}
+		}
+	}
+	if err := runPool(ctx, workers, units); err != nil {
+		return err
+	}
+
+	// Gather each live group's filter columns at the union selection —
+	// the rows member refinement re-evaluates. Destination columns are
+	// allocated sequentially; each unit fills one whole column, so
+	// concurrent units write disjoint memory.
+	units = units[:0]
+	for _, g := range groups {
+		if g.failed() {
+			continue
+		}
+		g := g
+		for si := range g.shards {
+			gsh := &g.shards[si]
+			gsh.fcols = make([]*storage.ColData, len(g.tmpl.fpos))
+			for j, pos := range g.tmpl.fpos {
+				j, src := j, gsh.cs.Col(pos)
+				gsh.fcols[j] = newTemplateCol(src, len(gsh.usel))
+				units = append(units, workUnit{fail: g.failAll, run: func() {
+					gatherTemplateCol(gsh.fcols[j], src, gsh.usel, 0, len(gsh.usel), 0)
+				}})
+			}
+		}
+	}
+	if err := runPool(ctx, workers, units); err != nil {
+		return err
+	}
+
+	// Refine each member over the gathered columns — its own constants,
+	// evaluated on the union rows — then map surviving positions back to
+	// sample row ids. Containment makes this exact: every row a member's
+	// solo scan would select survives the looser union scan, and both
+	// walks ascend, so the refined selection is byte-identical to solo.
+	// Refinement failures are the member's own (failWith, not failAll).
+	units = units[:0]
+	for _, g := range groups {
+		if g.failed() {
+			continue
+		}
+		for _, t := range g.members {
+			t, g := t, g
+			for si := range t.shards {
+				si := si
+				units = append(units, workUnit{fail: t.failWith, run: func() {
+					gsh := &g.shards[si]
+					sel := refineTemplate(t.tmpl, t.scan.Filters, gsh.fcols, len(gsh.usel))
+					for i, p := range sel {
+						sel[i] = gsh.usel[p]
+					}
+					t.shards[si].sel = sel
 				}})
 			}
 		}
@@ -856,12 +1161,15 @@ func runScanWave(ctx context.Context, tasks []*batchTask, binder func(string) (*
 		if t.failedPanic() != nil {
 			// A failed task computes no sub-result and must not poison
 			// any cache; settleWave attributes the failure to its plans.
-			t.shards, t.cols = nil, nil
+			t.shards, t.cols, t.group = nil, nil, nil
 			continue
 		}
 		t.sub = &subResult{sig: t.primaryKey(), count: t.selTotal, refs: t.refs, cols: t.cols}
 		t.storeSub(t.sub, -1)
-		t.shards, t.cols = nil, nil
+		if t.tmplOK {
+			t.storeTemplate()
+		}
+		t.shards, t.cols, t.group = nil, nil, nil
 	}
 	return nil
 }

@@ -33,7 +33,9 @@ import (
 	"container/list"
 	"sync"
 
+	"reopt/internal/rel"
 	"reopt/internal/sql"
+	"reopt/internal/storage"
 )
 
 // SkeletonCache carries validation work across skeleton runs: subtree
@@ -63,8 +65,50 @@ type skelStore struct {
 	subs       map[string]*list.Element
 	lru        *list.List // front = most recently used
 	tables     map[string]map[uint64][]int32
+	// templates is the (template, constant-vector) sub-result index
+	// (DESIGN.md §9): fingerprint -> collision chain of template
+	// entries, each riding one cached sub-result. A lookup that misses
+	// the exact sub-result key can still find a cached instance of the
+	// same template whose constants *contain* the requested ones and
+	// refine it instead of rescanning. Entries are registered only when
+	// template sharing is on and are evicted with their sub-result.
+	templates map[uint64][]*tmplEntry
 
-	hits, misses int64
+	hits, misses         int64
+	tmplHits, tmplMisses int64
+}
+
+// tmplCached is the immutable payload of one template-index entry: the
+// instance's constant vector and operators (for the containment check),
+// the cached sub-result it refines from, and the filter columns
+// gathered at that sub-result's selection (what refinement evaluates
+// the contained instance's conjuncts over). All fields are write-once:
+// lookups snapshot the pointer under the store lock and refine outside
+// it.
+type tmplCached struct {
+	sig    string
+	consts []rel.Value
+	ops    []sql.CompareOp
+	sub    *subResult
+	fcols  []*storage.ColData
+}
+
+// tmplEntry is tmplCached plus its index bookkeeping: the view prefix
+// it was registered under (template identity is namespaced by sample
+// epoch exactly like sub-result keys) and the sub-result entry key it
+// rides (joint eviction).
+type tmplEntry struct {
+	tmplCached
+	fp     uint64
+	prefix string
+	key    string
+}
+
+// tmplValues is the value-budget charge of a template entry's gathered
+// filter columns: one value per (row, filter column), matching how
+// entryValues charges boundary columns.
+func tmplValues(te *tmplEntry) int {
+	return te.sub.count * len(te.fcols)
 }
 
 // skelCacheEntry is one cached sub-result plus the keys of the hash
@@ -73,6 +117,10 @@ type skelCacheEntry struct {
 	key       string
 	sub       *subResult
 	tableKeys []string
+	// tmpl is the template-index entry riding this sub-result, if any
+	// (at most one: the sub-result key pins the constants, so one entry
+	// is one template instance). Dropped together on eviction.
+	tmpl *tmplEntry
 }
 
 // NewSkeletonCache returns an empty, unbounded cache (the
@@ -107,6 +155,7 @@ func NewSkeletonCacheBudget(limit, valueLimit int) *SkeletonCache {
 		subs:       make(map[string]*list.Element),
 		lru:        list.New(),
 		tables:     make(map[string]map[uint64][]int32),
+		templates:  make(map[uint64][]*tmplEntry),
 	}}
 }
 
@@ -261,7 +310,8 @@ func (s *skelStore) shrinkLocked() {
 	}
 }
 
-// evictLocked removes one entry and the hash tables built over it.
+// evictLocked removes one entry, the hash tables built over it, and its
+// template-index entry.
 func (s *skelStore) evictLocked(el *list.Element) {
 	e := el.Value.(*skelCacheEntry)
 	s.lru.Remove(el)
@@ -270,6 +320,29 @@ func (s *skelStore) evictLocked(el *list.Element) {
 	for _, tk := range e.tableKeys {
 		delete(s.tables, tk)
 	}
+	if e.tmpl != nil {
+		s.dropTemplateLocked(e.tmpl)
+		e.tmpl = nil
+	}
+}
+
+// dropTemplateLocked unlinks one template entry from the fingerprint
+// index and refunds its value charge. The owning skelCacheEntry's tmpl
+// field is the caller's to clear.
+func (s *skelStore) dropTemplateLocked(te *tmplEntry) {
+	chain := s.templates[te.fp]
+	for i, c := range chain {
+		if c == te {
+			chain = append(chain[:i], chain[i+1:]...)
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(s.templates, te.fp)
+	} else {
+		s.templates[te.fp] = chain
+	}
+	s.values -= tmplValues(te)
 }
 
 // getTable looks up a build-side hash table.
@@ -297,4 +370,94 @@ func (c *SkeletonCache) putTable(subKey, tableKey string, t map[uint64][]int32) 
 		e.tableKeys = append(e.tableKeys, tableKey)
 	}
 	s.tables[tableKey] = t
+}
+
+// getTemplate probes the template index for a cached instance of tm's
+// template (fingerprint bucket, collision-checked against the full
+// signature, namespaced by the view prefix) whose constants contain
+// tm's. A hit refreshes the owning sub-result's recency and returns the
+// entry's immutable payload; refinement happens outside the lock.
+func (c *SkeletonCache) getTemplate(tm scanTemplate) (*tmplCached, bool) {
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, te := range s.templates[tm.fp] {
+		if te.prefix != c.prefix || te.sig != tm.sig {
+			continue // fingerprint collision or foreign epoch
+		}
+		if !containsConsts(tm.ops, te.consts, tm.consts) {
+			break // one entry per (prefix, sig); it does not contain tm
+		}
+		if el, ok := s.subs[te.key]; ok {
+			s.lru.MoveToFront(el)
+		}
+		s.tmplHits++
+		return &te.tmplCached, true
+	}
+	s.tmplMisses++
+	return nil, false
+}
+
+// putTemplate registers a computed scan instance in the template index,
+// riding the sub-result cached under key (the entry is skipped when
+// that sub-result was not retained — nothing would ever evict it). At
+// most one entry exists per (prefix, signature): an existing entry
+// whose constants contain the new instance's is kept (it already
+// refines every instance the new one could), otherwise the new entry
+// replaces it — so under containment-ordered traffic the index
+// converges on the loosest instance seen. fcols are the filter columns
+// gathered at the sub-result's selection; their values are charged to
+// the store's value budget like boundary columns.
+func (c *SkeletonCache) putTemplate(key string, tm scanTemplate, sub *subResult, fcols []*storage.ColData) {
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.subs[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*skelCacheEntry)
+	te := &tmplEntry{
+		tmplCached: tmplCached{sig: tm.sig, consts: tm.consts, ops: tm.ops, sub: sub, fcols: fcols},
+		fp:         tm.fp,
+		prefix:     c.prefix,
+		key:        key,
+	}
+	if s.valueLimit > 0 && tmplValues(te) > s.valueLimit {
+		return // could never be retained; don't wipe the cache for it
+	}
+	for _, old := range s.templates[tm.fp] {
+		if old.prefix != c.prefix || old.sig != tm.sig {
+			continue
+		}
+		if containsConsts(tm.ops, old.consts, tm.consts) {
+			return // existing entry already refines everything te could
+		}
+		if oel, ok := s.subs[old.key]; ok {
+			oel.Value.(*skelCacheEntry).tmpl = nil
+		}
+		s.dropTemplateLocked(old)
+		break
+	}
+	if e.tmpl != nil {
+		// The sub-result under key was re-put and already carries an
+		// entry (content-addressed: logically the same instance).
+		s.dropTemplateLocked(e.tmpl)
+	}
+	e.tmpl = te
+	s.templates[tm.fp] = append(s.templates[tm.fp], te)
+	s.values += tmplValues(te)
+	s.shrinkLocked()
+}
+
+// TemplateStats reports template-index lookup hits and misses
+// (diagnostics; only template-sharing runs touch the index).
+func (c *SkeletonCache) TemplateStats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	s := c.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tmplHits, s.tmplMisses
 }

@@ -139,6 +139,18 @@ type SkelConfig struct {
 	// MemBudget softly caps the values one plan may materialize;
 	// <= 0 means unlimited (see CountSkeletonBudgetCtx).
 	MemBudget int64
+	// Templates enables template-aware scan sharing (DESIGN.md §9):
+	// filtered scans are canonicalized into constant-stripped templates;
+	// within a batch wave, instances of one template execute a single
+	// shared scan with the union (loosest) selection and refine
+	// per-constant over the materialized rows, and the cache keeps a
+	// (template, constant-vector) index so a near-miss constant refines
+	// a cached containing instance instead of rescanning. Counts and
+	// estimates stay byte-identical at either setting — sharing changes
+	// how sub-results are computed, never their contents. Off by
+	// default: the index retains gathered filter columns, a memory cost
+	// only parametrized workloads buy anything with.
+	Templates bool
 }
 
 // norm returns the config with defaults resolved.
@@ -162,15 +174,16 @@ func CountSkeletonCfg(ctx context.Context, p *plan.Plan, binder func(string) (*s
 	}()
 	cfg = cfg.norm()
 	e := &skelEngine{
-		ctx:      ctx,
-		q:        p.Query,
-		binder:   binder,
-		cache:    cache,
-		workers:  cfg.Workers,
-		shards:   cfg.Shards,
-		minChunk: minChunkRows,
-		counts:   make(map[plan.Node]int64),
-		mem:      memAccount{budget: cfg.MemBudget},
+		ctx:       ctx,
+		q:         p.Query,
+		binder:    binder,
+		cache:     cache,
+		workers:   cfg.Workers,
+		shards:    cfg.Shards,
+		templates: cfg.Templates,
+		minChunk:  minChunkRows,
+		counts:    make(map[plan.Node]int64),
+		mem:       memAccount{budget: cfg.MemBudget},
 	}
 	if _, err := e.eval(p.Root); err != nil {
 		return nil, err
@@ -179,12 +192,13 @@ func CountSkeletonCfg(ctx context.Context, p *plan.Plan, binder func(string) (*s
 }
 
 type skelEngine struct {
-	ctx     context.Context
-	q       *sql.Query
-	binder  func(string) (*storage.Table, error)
-	cache   *SkeletonCache
-	workers int
-	shards  int
+	ctx       context.Context
+	q         *sql.Query
+	binder    func(string) (*storage.Table, error)
+	cache     *SkeletonCache
+	workers   int
+	shards    int
+	templates bool
 	// minChunk is the smallest per-worker slice of rows worth a
 	// goroutine for this engine's partitioned loops. The single-plan
 	// entry points use the fixed minChunkRows; the batch engine derives
@@ -478,8 +492,34 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 		poss[k] = pos
 	}
 
+	// Template probe (DESIGN.md §9): on an exact-key miss, a cached
+	// instance of the same template whose constants contain this scan's
+	// can serve it by refinement — the instance's conjuncts re-evaluated
+	// over the entry's gathered filter columns — instead of a sample
+	// rescan. The refined sub-result is byte-identical to a fresh scan
+	// (see refineCachedTemplate) and is stored under the exact key, so
+	// repeats of this constant hit outright.
+	var tmpl scanTemplate
+	tmplOK := false
+	if e.cache != nil && e.templates {
+		if tm, ok := scanTemplateOf(t, refs, filterPos); ok {
+			tmpl, tmplOK = tm, true
+			if tc, hit := e.cache.getTemplate(tm); hit {
+				if sub := refineCachedTemplate(tc, tm, t.Filters, key, refs); sub != nil {
+					// Same charge as computing or an exact hit: budget
+					// verdicts stay independent of how the result arrived.
+					if e.mem.charge(subCharge(sub)) {
+						return nil, ErrMemoryBudget
+					}
+					e.cache.putSub(key, sub)
+					return sub, nil
+				}
+			}
+		}
+	}
+
 	if e.shards > 1 {
-		return e.evalScanSharded(t, tab, key, refs, filterPos, poss)
+		return e.evalScanSharded(t, tab, key, refs, filterPos, poss, tmpl, tmplOK)
 	}
 
 	cs := tab.ColData()
@@ -522,6 +562,9 @@ func (e *skelEngine) evalScan(t *plan.ScanNode) (*subResult, error) {
 	sub := &subResult{sig: key, count: len(sel), refs: refs, cols: cols}
 	if e.cache != nil {
 		e.cache.putSub(key, sub)
+		if tmplOK {
+			e.cache.putTemplate(key, tmpl, sub, gatherFilterColsAt(cs, tmpl.fpos, sel))
+		}
 	}
 	return sub, nil
 }
@@ -564,12 +607,19 @@ func mergePartials(parts []shardPartial, nrefs int) (int, [][]rel.Value) {
 // partials merge in shard order. The memory budget is charged
 // incrementally per shard; the per-shard charges sum to exactly the
 // monolithic charge, so breach verdicts are shard-count-independent.
-func (e *skelEngine) evalScanSharded(t *plan.ScanNode, tab *storage.Table, key string, refs []sql.ColRef, filterPos, poss []int) (*subResult, error) {
+func (e *skelEngine) evalScanSharded(t *plan.ScanNode, tab *storage.Table, key string, refs []sql.ColRef, filterPos, poss []int, tmpl scanTemplate, tmplOK bool) (*subResult, error) {
 	shards := tab.ColDataShards(e.shards)
 	injecting := faultinject.Active()
 	var sig string
 	if injecting {
 		sig = subtreeSig(t)
+	}
+	// Template registration needs each shard's selection after the merge,
+	// but e.selBuf is reused per shard — keep copies only when sharing is
+	// on (the selections are sample-sized).
+	var selCopies [][]int32
+	if tmplOK {
+		selCopies = make([][]int32, len(shards))
 	}
 	parts := make([]shardPartial, len(shards))
 	for si, cs := range shards {
@@ -601,11 +651,30 @@ func (e *skelEngine) evalScanSharded(t *plan.ScanNode, tab *storage.Table, key s
 			}
 		}
 		parts[si] = shardPartial{count: len(sel), cols: cols}
+		if tmplOK {
+			selCopies[si] = append([]int32(nil), sel...)
+		}
 	}
 	count, cols := mergePartials(parts, len(refs))
 	sub := &subResult{sig: key, count: count, refs: refs, cols: cols}
 	if e.cache != nil {
 		e.cache.putSub(key, sub)
+		if tmplOK {
+			// Filter columns gathered shard by shard at the merged
+			// offsets: identical bytes to a monolithic gather, since
+			// shards concatenate in shard order.
+			fcols := make([]*storage.ColData, len(tmpl.fpos))
+			for j, pos := range tmpl.fpos {
+				dst := newTemplateCol(shards[0].Col(pos), count)
+				off := 0
+				for si, cs := range shards {
+					gatherTemplateCol(dst, cs.Col(pos), selCopies[si], 0, len(selCopies[si]), off)
+					off += len(selCopies[si])
+				}
+				fcols[j] = dst
+			}
+			e.cache.putTemplate(key, tmpl, sub, fcols)
+		}
 	}
 	return sub, nil
 }

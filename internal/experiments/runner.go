@@ -49,6 +49,12 @@ type Config struct {
 	// other's validation counts. 0 keeps per-query caches — the paper's
 	// setting, where each query's overhead is measured cold.
 	WorkloadCacheEntries int
+	// TemplateSharing shares validation scans between query instances
+	// of the same template (reopt.WithTemplateSharing): one union scan
+	// per template within a batch, refined per constant, plus a
+	// template index over the workload cache. Results are
+	// byte-identical at either setting.
+	TemplateSharing bool
 	// Seed drives everything.
 	Seed int64
 }
@@ -114,11 +120,16 @@ func NewRunnerCtx(ctx context.Context, cfg Config) *Runner {
 // cache configuration — the experiments drive the same public API the
 // examples and cmd/reopt use.
 func (r *Runner) session(cat *catalog.Catalog, cfg optimizer.Config) (*reopt.Session, error) {
-	return reopt.Open(cat,
+	opts := []reopt.SessionOption{
 		reopt.WithOptimizerConfig(cfg),
 		reopt.WithWorkers(r.cfg.Workers),
 		reopt.WithSampleShards(r.cfg.SampleShards),
-		reopt.WithCache(r.wlCache))
+		reopt.WithCache(r.wlCache),
+	}
+	if r.cfg.TemplateSharing {
+		opts = append(opts, reopt.WithTemplateSharing())
+	}
+	return reopt.Open(cat, opts...)
 }
 
 // CalibratedUnits runs (and caches) cost-unit calibration.

@@ -46,6 +46,10 @@ const (
 	// ProbeUnit fires inside a batch probe unit. Tag: the join task's
 	// subtree signature.
 	ProbeUnit Point = "executor.batch.probe"
+	// TemplateUnit fires inside a shared template-scan work unit (the
+	// union scan executed once for every query instance riding the
+	// template). Tag: the template signature.
+	TemplateUnit Point = "executor.batch.template"
 	// ShardUnit fires inside per-shard execution of a sharded sample
 	// scan, in both the single-plan and batch engines. Tag: the task's
 	// subtree signature suffixed with "#shard=<i>", so a rule can

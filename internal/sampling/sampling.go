@@ -133,11 +133,17 @@ type ValidateConfig struct {
 	// MemBudget softly caps the values each plan's validation may
 	// materialize; <= 0 means unlimited.
 	MemBudget int64
+	// Templates shares sample scans between query instances of the
+	// same constant-stripped template (one union scan per template,
+	// refined per constant) and indexes cached scans by template so
+	// near-miss constants reuse them. Counts stay byte-identical at
+	// either setting. Off by default.
+	Templates bool
 }
 
 // skel converts the config to the executor layer's form.
 func (c ValidateConfig) skel() executor.SkelConfig {
-	return executor.SkelConfig{Workers: c.Workers, Shards: c.Shards, MemBudget: c.MemBudget}
+	return executor.SkelConfig{Workers: c.Workers, Shards: c.Shards, MemBudget: c.MemBudget, Templates: c.Templates}
 }
 
 // EstimatePlanCfg is EstimatePlanCtx with the full validation config,

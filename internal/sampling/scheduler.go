@@ -59,8 +59,20 @@ import (
 // registered query is NOT yet waiting (trigger 1 flushes immediately
 // otherwise), so it is sized against the optimizer's per-round planning
 // time — a few hundred microseconds on the paper's workloads — not
-// against validation time.
+// against validation time. The adaptive window (window <= 0) uses it
+// as the fallback until both EWMAs have observations.
 const DefaultGatherWindow = 200 * time.Microsecond
+
+// Adaptive-window bounds: the window never shrinks below the cost of a
+// wasted flush (minGatherWindow) and never holds a request hostage past
+// maxGatherWindow however slow validation gets. Submission gaps above
+// maxOptGap are idle time between workload bursts, not optimizer
+// rounds, and are excluded from the optimizer-time EWMA.
+const (
+	minGatherWindow = 50 * time.Microsecond
+	maxGatherWindow = 5 * time.Millisecond
+	maxOptGap       = 10 * time.Millisecond
+)
 
 // Scheduler coalesces the validation requests of concurrently
 // re-optimizing queries into shared skeleton-batch waves. Create one
@@ -68,9 +80,20 @@ const DefaultGatherWindow = 200 * time.Microsecond
 type Scheduler struct {
 	cat       *catalog.Catalog
 	workers   int
-	window    time.Duration
-	memBudget atomic.Int64 // per-plan value budget for waves; 0 = unlimited
-	shards    atomic.Int64 // sample shard count for waves; <= 1 = monolithic
+	window    time.Duration // fixed gather window; <= 0 selects adaptive
+	memBudget atomic.Int64  // per-plan value budget for waves; 0 = unlimited
+	shards    atomic.Int64  // sample shard count for waves; <= 1 = monolithic
+	templates atomic.Bool   // template-shared scans for waves
+
+	// Adaptive gather window state: EWMAs (alpha 1/8) of the observed
+	// optimizer round time (gap between a wave finishing and the next
+	// submission) and of wave validation time, in nanoseconds. Both
+	// zero until first observation. The window trades the two off:
+	// long enough to catch the next optimizer round's submission,
+	// short relative to the validation it delays.
+	optEWMA     atomic.Int64
+	valEWMA     atomic.Int64
+	lastWaveEnd atomic.Int64 // UnixNano of the last wave completion
 
 	mu     sync.Mutex
 	active int // registered in-flight queries
@@ -84,11 +107,14 @@ type Scheduler struct {
 }
 
 // NewScheduler returns a scheduler validating against cat with the
-// given worker budget (<= 0 selects GOMAXPROCS) and gather window
-// (<= 0 selects DefaultGatherWindow).
+// given worker budget (<= 0 selects GOMAXPROCS) and gather window. A
+// window <= 0 selects the adaptive window: sized from the observed
+// optimizer-round / validation-time ratio, starting from
+// DefaultGatherWindow until both have been observed. The window only
+// affects how requests batch, never their results.
 func NewScheduler(cat *catalog.Catalog, workers int, window time.Duration) *Scheduler {
-	if window <= 0 {
-		window = DefaultGatherWindow
+	if window < 0 {
+		window = 0
 	}
 	return &Scheduler{cat: cat, workers: workers, window: window}
 }
@@ -113,13 +139,66 @@ func (s *Scheduler) SetShards(n int) {
 	s.shards.Store(int64(n))
 }
 
+// SetTemplates turns template-shared scans on or off for subsequent
+// waves: tasks sharing a constant-stripped template execute one union
+// scan refined per constant, and cached scans are indexed by template
+// for near-miss constant reuse. Estimates are byte-identical at either
+// setting. Safe to call while waves are in flight.
+func (s *Scheduler) SetTemplates(on bool) {
+	s.templates.Store(on)
+}
+
 // cfg snapshots the scheduler's validation config for one wave.
 func (s *Scheduler) cfg() ValidateConfig {
 	return ValidateConfig{
 		Workers:   s.workers,
 		Shards:    int(s.shards.Load()),
 		MemBudget: s.memBudget.Load(),
+		Templates: s.templates.Load(),
 	}
+}
+
+// observeEWMA folds one sample into an exponentially weighted moving
+// average with alpha 1/8; the first sample seeds the average directly.
+func observeEWMA(a *atomic.Int64, x int64) {
+	for {
+		old := a.Load()
+		nw := x
+		if old != 0 {
+			nw = old + (x-old)/8
+		}
+		if a.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// gatherWindow returns the window the next gather timer should use:
+// the fixed window when one was configured, otherwise the adaptive
+// window min(2·optimizer-round, validation/4) clamped to
+// [minGatherWindow, maxGatherWindow] — wide enough to catch the next
+// optimizer round's submission (the coalescing win), narrow relative
+// to the validation work it delays (the latency cost). Until both
+// EWMAs have observations it falls back to DefaultGatherWindow.
+func (s *Scheduler) gatherWindow() time.Duration {
+	if s.window > 0 {
+		return s.window
+	}
+	opt, val := s.optEWMA.Load(), s.valEWMA.Load()
+	if opt == 0 || val == 0 {
+		return DefaultGatherWindow
+	}
+	w := 2 * time.Duration(opt)
+	if v := time.Duration(val) / 4; v < w {
+		w = v
+	}
+	if w < minGatherWindow {
+		w = minGatherWindow
+	}
+	if w > maxGatherWindow {
+		w = maxGatherWindow
+	}
+	return w
 }
 
 // SchedulerStats reports what the scheduler has coalesced so far.
@@ -213,6 +292,15 @@ func (c *SchedulerClient) ValidatePlans(ctx context.Context, plans []*plan.Plan,
 		// under, so validate directly rather than deadlock a wave.
 		return EstimatePlansCfg(ctx, plans, s.cat, cache, s.cfg())
 	}
+	// The gap between the last wave finishing and this submission is
+	// (approximately) one optimizer round: the requester was inside its
+	// planning call. Gaps beyond maxOptGap are idle workload time, not
+	// planning, and would inflate the adaptive window; skip them.
+	if le := s.lastWaveEnd.Load(); le != 0 {
+		if gap := time.Now().UnixNano() - le; gap > 0 && gap <= int64(maxOptGap) {
+			observeEWMA(&s.optEWMA, gap)
+		}
+	}
 	req := &schedRequest{ctx: ctx, plans: plans, cache: cache, done: make(chan schedResult, 1)}
 	s.mu.Lock()
 	s.queue = append(s.queue, req)
@@ -277,7 +365,7 @@ func (s *Scheduler) armTimerLocked() {
 		return
 	}
 	gen := s.gen
-	s.timer = time.AfterFunc(s.window, func() {
+	s.timer = time.AfterFunc(s.gatherWindow(), func() {
 		s.mu.Lock()
 		if s.gen != gen {
 			// A flush already took this generation's batch; the timer
@@ -350,8 +438,11 @@ func (s *Scheduler) run(batch []*schedRequest) {
 		groups[i] = PlanGroup{Plans: r.plans, Cache: r.cache}
 	}
 	wctx, stop := mergedContext(batch)
+	start := time.Now()
 	ests, perGroup, err := s.runWave(wctx, groups, len(batch))
 	stop()
+	observeEWMA(&s.valEWMA, int64(time.Since(start)))
+	s.lastWaveEnd.Store(time.Now().UnixNano())
 	for i, r := range batch {
 		var res schedResult
 		switch {

@@ -82,6 +82,17 @@ func (c *WorkloadCache) Stats() (hits, misses int64) {
 	return c.skel.Stats()
 }
 
+// TemplateStats reports template-index lookup hits and misses — the
+// index is only populated and probed by template-sharing runs
+// (ValidateConfig.Templates), so both stay zero otherwise
+// (diagnostics).
+func (c *WorkloadCache) TemplateStats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.skel.TemplateStats()
+}
+
 // Values returns the total materialized boundary-column values retained
 // — the quantity NewWorkloadCacheBudget's value budget bounds
 // (diagnostics).

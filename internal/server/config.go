@@ -40,9 +40,14 @@ type Quota struct {
 	CacheValues int `json:"cache_values"`
 	// Scheduler coalesces the tenant's concurrent validations into
 	// shared-scan waves (reopt.WithWorkloadScheduler); Window <= 0
-	// selects the default gather window.
+	// selects the adaptive gather window.
 	Scheduler       bool                 `json:"scheduler"`
 	SchedulerWindow reoptclient.Duration `json:"scheduler_window"`
+	// TemplateSharing shares validation scans between query instances
+	// of the same template — parametrized traffic's few-templates ×
+	// many-constants shape (reopt.WithTemplateSharing). Results are
+	// byte-identical at either setting.
+	TemplateSharing bool `json:"template_sharing"`
 }
 
 // Config is the daemon's startup configuration. The tenant set is

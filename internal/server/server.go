@@ -186,6 +186,9 @@ func (q Quota) sessionOptions() []reopt.SessionOption {
 	if q.Scheduler {
 		opts = append(opts, reopt.WithWorkloadScheduler(time.Duration(q.SchedulerWindow)))
 	}
+	if q.TemplateSharing {
+		opts = append(opts, reopt.WithTemplateSharing())
+	}
 	return opts
 }
 

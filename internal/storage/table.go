@@ -27,7 +27,7 @@ type Table struct {
 	rowsPerPage int
 	colData     *ColStore // lazy column-major projection; nil until built
 
-	shardMu   sync.Mutex        // guards colShards (built lazily under concurrent readers)
+	shardMu   sync.Mutex          // guards colShards (built lazily under concurrent readers)
 	colShards map[int][]*ColStore // lazy shard views of colData, keyed by shard count
 }
 

@@ -51,6 +51,7 @@ type Session struct {
 	workers   int
 	shards    int
 	memBudget int64
+	templates bool
 	adm       *admission
 }
 
@@ -67,6 +68,7 @@ type sessionConfig struct {
 	wantSched    bool
 	schedWindow  time.Duration
 	memBudget    int64
+	templates    bool
 	maxInFlight  int
 	queueDepth   int
 }
@@ -141,7 +143,9 @@ func WithSharedCacheValues(maxValues int) SessionOption {
 // common across the *workload* execute once per wave and the combined
 // work fans out across the session's validation workers. window bounds
 // how long a validation may wait for concurrent queries to contribute
-// theirs (<= 0 selects sampling.DefaultGatherWindow); the wait only
+// theirs (<= 0 selects the adaptive window, sized continuously from the
+// observed optimizer-round / validation-time ratio so coalescing scales
+// with traffic); the wait only
 // applies while another in-flight query is still planning — the moment
 // every in-flight query is blocked on validation the wave flushes, so
 // serial traffic (one query at a time) never waits at all. Per-query
@@ -201,6 +205,25 @@ func WithMaxInFlight(n, queueDepth int) SessionOption {
 	}
 }
 
+// WithTemplateSharing shares validation work between query instances
+// of the same template — identical plan structure, columns and
+// comparison operators, differing only in predicate constants, the
+// shape parametrized production traffic overwhelmingly takes. Within
+// one validation batch (or scheduler wave), instances of a template
+// execute one shared sample scan at the union (loosest) selection and
+// refine per-constant with bitmap passes over the materialized rows;
+// across calls, the session's cache indexes scans by template, so a
+// repeated constant hits outright and a near-miss constant — contained
+// by a cached instance's selection — derives its result from the
+// cached scan without touching the samples. Estimates, Γ, and
+// memory-budget verdicts are byte-identical at either setting and at
+// every worker and shard count; sharing changes how counts are
+// computed, never their values. Combine with WithSharedCache (or
+// WithCache) to carry template reuse across the workload.
+func WithTemplateSharing() SessionOption {
+	return func(c *sessionConfig) { c.templates = true }
+}
+
 // WithCache adopts an existing workload cache instead of creating one —
 // for sharing validation counts between sessions (e.g. two sessions
 // planning one catalog under different optimizer configurations), or
@@ -234,6 +257,7 @@ func Open(cat *Catalog, opts ...SessionOption) (*Session, error) {
 		workers:   cfg.workers,
 		shards:    cfg.shards,
 		memBudget: cfg.memBudget,
+		templates: cfg.templates,
 		adm:       newAdmission(cfg.maxInFlight, cfg.queueDepth),
 	}
 	switch {
@@ -246,6 +270,7 @@ func Open(cat *Catalog, opts ...SessionOption) (*Session, error) {
 		s.sched = sampling.NewScheduler(cat, cfg.workers, cfg.schedWindow)
 		s.sched.SetMemBudget(cfg.memBudget)
 		s.sched.SetShards(cfg.shards)
+		s.sched.SetTemplates(cfg.templates)
 	}
 	return s, nil
 }
@@ -279,6 +304,12 @@ func (s *Session) Optimizer() *Optimizer { return s.opt }
 // CacheStats reports the shared validation cache's subtree lookup hits
 // and misses (zeros when the session has no shared cache).
 func (s *Session) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// TemplateStats reports the shared cache's template-index hits and
+// misses — nonzero only under WithTemplateSharing, whose cross-call
+// reuse (exact-constant repeats aside) it measures (zeros without a
+// cache).
+func (s *Session) TemplateStats() (hits, misses int64) { return s.cache.TemplateStats() }
 
 // SchedulerStats reports what the session's workload validation
 // scheduler has coalesced (zeros when WithWorkloadScheduler is off).
@@ -341,6 +372,7 @@ func (s *Session) reoptimizer(opts []ReoptOption) *Reoptimizer {
 	r.Opts.SampleShards = s.shards
 	r.Opts.Cache = s.cache
 	r.Opts.MemBudget = s.memBudget
+	r.Opts.TemplateSharing = s.templates
 	for _, o := range opts {
 		o(&r.Opts)
 	}
@@ -431,6 +463,7 @@ func (s *Session) Validate(ctx context.Context, plans ...*Plan) ([]*SamplingEsti
 		Workers:   s.workers,
 		Shards:    s.shards,
 		MemBudget: s.memBudget,
+		Templates: s.templates,
 	})
 }
 
